@@ -1,0 +1,81 @@
+// Command medea-experiments regenerates the tables and figures of the
+// paper's evaluation (Figures 6-9 plus the hybrid-vs-shared-memory prose
+// analysis). Absolute cycle counts differ from the authors' Xtensa
+// testbed; the shapes — who wins, by what factor, where the knees fall —
+// are the reproduction targets (see EXPERIMENTS.md).
+//
+// Examples:
+//
+//	medea-experiments -fig all -full
+//	medea-experiments -fig 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/dse"
+	"repro/internal/syncbench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("medea-experiments: ")
+
+	fig := flag.String("fig", "all", "which experiment: 6 | 7 | 8 | 9 | hybrid | sync | barrier | all")
+	full := flag.Bool("full", false, "run the paper's full parameter grid (slower)")
+	flag.Parse()
+
+	f := dse.Quick
+	if *full {
+		f = dse.Full
+	}
+
+	switch *fig {
+	case "6":
+		t, _, err := dse.Fig6(f)
+		exitOn(err)
+		fmt.Println(t)
+	case "7":
+		_, pts, err := dse.Fig6(f)
+		exitOn(err)
+		fmt.Println(dse.Fig7(pts))
+	case "8":
+		t, _, err := dse.Fig8(f)
+		exitOn(err)
+		fmt.Println(t)
+	case "9":
+		_, pts, err := dse.Fig8(f)
+		exitOn(err)
+		fmt.Println(dse.Fig9(pts))
+	case "hybrid":
+		t, _, err := dse.HybridComparison(f)
+		exitOn(err)
+		fmt.Println(t)
+	case "sync":
+		t, _, err := dse.SmallCacheComparison(f)
+		exitOn(err)
+		fmt.Println(t)
+	case "barrier":
+		cores := []int{2, 4, 8}
+		if f == dse.Full {
+			cores = []int{2, 4, 6, 8, 10, 12, 15}
+		}
+		t, err := syncbench.Table(cores, 20)
+		exitOn(err)
+		fmt.Println(t)
+	case "all":
+		t, err := dse.AllExperiments(f)
+		exitOn(err)
+		fmt.Println(t)
+	default:
+		log.Fatalf("unknown -fig %q", *fig)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Command medea-noc characterizes the bare network-on-chip: it sweeps the
+// offered load for a chosen traffic pattern and prints latency, throughput
+// and deflection statistics for the deflection-routed switches and,
+// optionally, the buffered XY baseline. Output can be emitted as CSV for
+// plotting.
+//
+// Example:
+//
+//	medea-noc -w 4 -h 4 -pattern transpose -xy -csv transpose.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("medea-noc: ")
+
+	w := flag.Int("w", 4, "torus width")
+	h := flag.Int("h", 4, "torus height")
+	pattern := flag.String("pattern", "uniform", "traffic: uniform | transpose | hotspot | neighbor")
+	hotspot := flag.Int("hotspot", 0, "hotspot destination node (hotspot pattern)")
+	cycles := flag.Int64("cycles", 5000, "cycles per load point")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	withXY := flag.Bool("xy", false, "also run the buffered XY baseline")
+	csvPath := flag.String("csv", "", "write results as CSV to this file")
+	loads := flag.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "comma-separated offered loads (flits/node/cycle)")
+	flag.Parse()
+
+	topo, err := noc.NewTopology(*w, *h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rates []float64
+	for _, s := range strings.Split(*loads, ",") {
+		var r float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &r); err != nil || r <= 0 || r > 1 {
+			log.Fatalf("bad load %q", s)
+		}
+		rates = append(rates, r)
+	}
+
+	var rows []row
+	for _, rate := range rates {
+		r := measureDeflection(topo, pat, *hotspot, rate, *cycles, *seed)
+		if *withXY {
+			xl, xq, xt := measureXY(topo, pat, *hotspot, rate, *cycles, *seed)
+			r.xyLatency, r.xyPeakQ, r.xyThroughput = xl, xq, xt
+			r.hasXY = true
+		}
+		rows = append(rows, r)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d folded torus, %v traffic, %d cycles/point\n", *w, *h, pat, *cycles)
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	head := "load\tthroughput\tlatency\tp-hops\tdeflections\t"
+	if *withXY {
+		head += "xy-throughput\txy-latency\txy-peakQ\t"
+	}
+	fmt.Fprintln(tw, head)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.1f\t%.1f\t%d\t", r.load, r.throughput, r.latency, r.hops, r.deflections)
+		if r.hasXY {
+			fmt.Fprintf(tw, "%.3f\t%.1f\t%d\t", r.xyThroughput, r.xyLatency, r.xyPeakQ)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Print(b.String())
+
+	if *csvPath != "" {
+		var c strings.Builder
+		c.WriteString("load,throughput,latency,hops,deflections,xy_throughput,xy_latency,xy_peak_queue\n")
+		for _, r := range rows {
+			fmt.Fprintf(&c, "%g,%g,%g,%g,%d,%g,%g,%d\n",
+				r.load, r.throughput, r.latency, r.hops, r.deflections,
+				r.xyThroughput, r.xyLatency, r.xyPeakQ)
+		}
+		if err := os.WriteFile(*csvPath, []byte(c.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *csvPath)
+	}
+}
+
+type row struct {
+	load         float64
+	throughput   float64 // delivered flits/node/cycle
+	latency      float64
+	hops         float64
+	deflections  int64
+	hasXY        bool
+	xyThroughput float64
+	xyLatency    float64
+	xyPeakQ      int
+}
+
+func measureDeflection(topo noc.Topology, pat noc.Pattern, hot int, rate float64, cycles, seed int64) row {
+	e := sim.NewEngine()
+	n := noc.NewNetwork(e, topo)
+	attachTraffic(e, topo, pat, hot, rate, seed, n.Attach)
+	e.Run(cycles)
+	return row{
+		load:        rate,
+		throughput:  float64(n.Stats.Delivered.Value()) / float64(cycles) / float64(topo.NumNodes()),
+		latency:     n.Stats.Latency.Mean(),
+		hops:        n.Stats.Hops.Mean(),
+		deflections: n.TotalDeflections(),
+	}
+}
+
+func measureXY(topo noc.Topology, pat noc.Pattern, hot int, rate float64, cycles, seed int64) (lat float64, peakQ int, thr float64) {
+	e := sim.NewEngine()
+	n := noc.NewXYNetwork(e, topo)
+	attachTraffic(e, topo, pat, hot, rate, seed, n.Attach)
+	e.Run(cycles)
+	return n.Stats.Latency.Mean(), n.PeakQueue(),
+		float64(n.Stats.Delivered.Value()) / float64(cycles) / float64(topo.NumNodes())
+}
+
+func attachTraffic(e *sim.Engine, topo noc.Topology, pat noc.Pattern, hot int, rate float64, seed int64, attach func(int, noc.LocalPort)) {
+	for i := 0; i < topo.NumNodes(); i++ {
+		tn := noc.NewTrafficNode(i, topo, noc.TrafficConfig{Pattern: pat, Rate: rate, HotspotNode: hot}, seed)
+		attach(i, tn)
+		e.Register(sim.PhaseNode, tn)
+	}
+}
+
+func parsePattern(s string) (noc.Pattern, error) {
+	switch s {
+	case "uniform":
+		return noc.Uniform, nil
+	case "transpose":
+		return noc.Transpose, nil
+	case "hotspot":
+		return noc.Hotspot, nil
+	case "neighbor":
+		return noc.Neighbor, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q", s)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]noc.Pattern{
+		"uniform":   noc.Uniform,
+		"transpose": noc.Transpose,
+		"hotspot":   noc.Hotspot,
+		"neighbor":  noc.Neighbor,
+	}
+	for in, want := range cases {
+		got, err := parsePattern(in)
+		if err != nil || got != want {
+			t.Errorf("parsePattern(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePattern("x"); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestMeasureDeflectionProducesSaneRow(t *testing.T) {
+	topo, _ := noc.NewTopology(4, 4)
+	r := measureDeflection(topo, noc.Uniform, 0, 0.2, 2000, 7)
+	if r.throughput <= 0 || r.throughput > 1 {
+		t.Errorf("throughput %v out of range", r.throughput)
+	}
+	if r.latency <= 0 {
+		t.Errorf("latency %v", r.latency)
+	}
+	// At 0.2 offered load the network is far from saturation: delivered
+	// must track offered within ~20%.
+	if r.throughput < 0.16 {
+		t.Errorf("throughput %v far below offered 0.2", r.throughput)
+	}
+}
+
+func TestMeasureXYProducesSaneRow(t *testing.T) {
+	topo, _ := noc.NewTopology(4, 4)
+	lat, peak, thr := measureXY(topo, noc.Uniform, 0, 0.2, 2000, 7)
+	if lat <= 0 || thr <= 0 || peak < 1 {
+		t.Errorf("bad xy row: lat=%v thr=%v peak=%d", lat, thr, peak)
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bridge"
+)
+
+func parseArbiter(s string) (bridge.ArbiterMode, error) {
+	switch s {
+	case "mux":
+		return bridge.ArbMux, nil
+	case "single-fifo":
+		return bridge.ArbSingleFIFO, nil
+	case "dual-fifo":
+		return bridge.ArbDualFIFO, nil
+	}
+	return 0, fmt.Errorf("unknown arbiter %q", s)
+}

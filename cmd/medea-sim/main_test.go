@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bridge"
+	"repro/internal/cache"
+	"repro/internal/jacobi"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]cache.Policy{"wb": cache.WriteBack, "WT": cache.WriteThrough} {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("nope"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	cases := map[string]jacobi.Variant{
+		"hybrid-full": jacobi.HybridFull,
+		"hybrid-sync": jacobi.HybridSync,
+		"pure-sm":     jacobi.PureSM,
+	}
+	for in, want := range cases {
+		got, err := parseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("parseVariant(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseVariant("x"); err == nil {
+		t.Error("bad variant accepted")
+	}
+}
+
+func TestParseArbiter(t *testing.T) {
+	cases := map[string]bridge.ArbiterMode{
+		"mux":         bridge.ArbMux,
+		"single-fifo": bridge.ArbSingleFIFO,
+		"dual-fifo":   bridge.ArbDualFIFO,
+	}
+	for in, want := range cases {
+		got, err := parseArbiter(in)
+		if err != nil || got != want {
+			t.Errorf("parseArbiter(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseArbiter("x"); err == nil {
+		t.Error("bad arbiter accepted")
+	}
+}

@@ -1,0 +1,9 @@
+// Package medea is the root of a from-scratch Go reproduction of
+// "MEDEA: a Hybrid Shared-memory/Message-passing Multiprocessor NoC-based
+// Architecture" (Tota, Casu, Ruo Roch, Rostagno, Zamboni — DATE 2010).
+//
+// The simulator, workloads and design-space exploration live under
+// internal/ (see DESIGN.md for the system inventory); runnable entry
+// points are in cmd/ and examples/; bench_test.go regenerates every table
+// and figure of the paper's evaluation.
+package medea

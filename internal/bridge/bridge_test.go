@@ -1,0 +1,249 @@
+package bridge
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+)
+
+func coordOf4x4(node int) (int, int) { return node % 4, node / 4 }
+
+func newBridge() *Bridge { return New(5, 0, coordOf4x4, 4) }
+
+// drain pops all flits the bridge emitted this cycle.
+func drain(b *Bridge) []flit.Flit {
+	var out []flit.Flit
+	for {
+		f, ok := b.Out().Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+// pump steps the bridge until it stops emitting, returning all flits.
+func pump(b *Bridge, now *int64) []flit.Flit {
+	var out []flit.Flit
+	for i := 0; i < 64; i++ {
+		b.Step(*now)
+		*now++
+		fl := drain(b)
+		out = append(out, fl...)
+		if len(fl) == 0 && len(out) > 0 {
+			return out
+		}
+	}
+	return out
+}
+
+func ack(t flit.Type) flit.Flit {
+	return flit.Flit{Type: t, Sub: flit.SubAck, Src: 0}
+}
+
+func TestSingleReadProtocol(t *testing.T) {
+	b := newBridge()
+	now := int64(0)
+	b.Start(Txn{Kind: TxnSingleRead, Addr: 0x1234}, now)
+	fl := pump(b, &now)
+	if len(fl) != 1 {
+		t.Fatalf("request flits = %d, want 1", len(fl))
+	}
+	req := fl[0]
+	if req.Type != flit.SingleRead || req.Sub != flit.SubAddr || req.Data != 0x1234 || req.Src != 5 {
+		t.Fatalf("bad request token %v", req)
+	}
+	if x, y := coordOf4x4(0); int(req.DstX) != x || int(req.DstY) != y {
+		t.Error("request not addressed to the MPMMU")
+	}
+	if _, ok := b.Done(); ok {
+		t.Fatal("done before reply")
+	}
+	b.Deliver(flit.Flit{Type: flit.SingleRead, Sub: flit.SubData, Data: 0xCAFE}, now)
+	res, ok := b.Done()
+	if !ok {
+		t.Fatal("not done after data")
+	}
+	if len(res.Data) != 1 || res.Data[0] != 0xCAFE {
+		t.Fatalf("result %v", res.Data)
+	}
+}
+
+func TestBlockReadReorder(t *testing.T) {
+	b := newBridge()
+	now := int64(0)
+	b.Start(Txn{Kind: TxnBlockRead, Addr: 0x100}, now)
+	pump(b, &now)
+	// Data arrives out of order: the reorder buffer must resequence.
+	for _, seq := range []uint8{2, 0, 3, 1} {
+		b.Deliver(flit.Flit{Type: flit.BlockRead, Sub: flit.SubData, Seq: seq, Burst: 1, Data: uint32(100 + seq)}, now)
+	}
+	res, ok := b.Done()
+	if !ok {
+		t.Fatal("block read did not complete")
+	}
+	for i, w := range res.Data {
+		if w != uint32(100+i) {
+			t.Fatalf("word %d = %d (reorder buffer failed)", i, w)
+		}
+	}
+	if b.Stats.OutOfOrder.Value() == 0 {
+		t.Error("out-of-order arrivals not counted")
+	}
+}
+
+func TestSingleWriteProtocol(t *testing.T) {
+	b := newBridge()
+	now := int64(0)
+	b.Start(Txn{Kind: TxnSingleWrite, Addr: 0x40, Data: []uint32{0xBEEF}}, now)
+	fl := pump(b, &now)
+	if len(fl) != 1 || fl[0].Sub != flit.SubAddr {
+		t.Fatalf("want one request token, got %v", fl)
+	}
+	// Grant.
+	b.Deliver(ack(flit.SingleWrite), now)
+	dataFl := pump(b, &now)
+	if len(dataFl) != 1 || dataFl[0].Sub != flit.SubData || dataFl[0].Data != 0xBEEF {
+		t.Fatalf("data flits %v", dataFl)
+	}
+	if _, ok := b.Done(); ok {
+		t.Fatal("done before completion ack")
+	}
+	// Completion.
+	b.Deliver(ack(flit.SingleWrite), now)
+	if _, ok := b.Done(); !ok {
+		t.Fatal("not done after completion")
+	}
+}
+
+func TestBlockWriteProtocol(t *testing.T) {
+	b := newBridge()
+	now := int64(0)
+	b.Start(Txn{Kind: TxnBlockWrite, Addr: 0x80, Data: []uint32{1, 2, 3, 4}}, now)
+	pump(b, &now)
+	b.Deliver(ack(flit.BlockWrite), now)
+	dataFl := pump(b, &now)
+	if len(dataFl) != 4 {
+		t.Fatalf("data flits = %d, want 4", len(dataFl))
+	}
+	for i, f := range dataFl {
+		if int(f.Seq) != i || f.Data != uint32(i+1) || f.Sub != flit.SubData {
+			t.Fatalf("data flit %d wrong: %v", i, f)
+		}
+	}
+	b.Deliver(ack(flit.BlockWrite), now)
+	if _, ok := b.Done(); !ok {
+		t.Fatal("block write not completed")
+	}
+}
+
+func TestLockUnlock(t *testing.T) {
+	b := newBridge()
+	now := int64(0)
+	b.Start(Txn{Kind: TxnLock, Addr: 0x200}, now)
+	fl := pump(b, &now)
+	if len(fl) != 1 || fl[0].Type != flit.Lock {
+		t.Fatalf("lock request %v", fl)
+	}
+	b.Deliver(ack(flit.Lock), now)
+	if _, ok := b.Done(); !ok {
+		t.Fatal("lock not granted")
+	}
+	b.Start(Txn{Kind: TxnUnlock, Addr: 0x200}, now)
+	pump(b, &now)
+	b.Deliver(ack(flit.Unlock), now)
+	if _, ok := b.Done(); !ok {
+		t.Fatal("unlock not completed")
+	}
+}
+
+func TestLockNackRetries(t *testing.T) {
+	b := newBridge()
+	now := int64(0)
+	b.Start(Txn{Kind: TxnLock, Addr: 0x200}, now)
+	pump(b, &now)
+	b.Deliver(flit.Flit{Type: flit.Lock, Sub: flit.SubNack}, now)
+	fl := pump(b, &now)
+	if len(fl) != 1 || fl[0].Type != flit.Lock || fl[0].Sub != flit.SubAddr {
+		t.Fatalf("no retry after NACK: %v", fl)
+	}
+	b.Deliver(ack(flit.Lock), now)
+	if _, ok := b.Done(); !ok {
+		t.Fatal("lock not granted after retry")
+	}
+}
+
+func TestBusyAndLatency(t *testing.T) {
+	b := newBridge()
+	if b.Busy() {
+		t.Fatal("fresh bridge busy")
+	}
+	b.Start(Txn{Kind: TxnSingleRead, Addr: 4}, 10)
+	if !b.Busy() {
+		t.Fatal("bridge should be busy")
+	}
+	now := int64(10)
+	pump(b, &now)
+	b.Deliver(flit.Flit{Type: flit.SingleRead, Sub: flit.SubData, Data: 0}, 25)
+	res, _ := b.Done()
+	if res.Cycles != 15 {
+		t.Errorf("latency = %d, want 15", res.Cycles)
+	}
+	if b.Stats.TxnLatency.Count() != 1 {
+		t.Error("latency not recorded")
+	}
+}
+
+func TestStartWhileBusyPanics(t *testing.T) {
+	b := newBridge()
+	b.Start(Txn{Kind: TxnSingleRead, Addr: 4}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start should panic")
+		}
+	}()
+	b.Start(Txn{Kind: TxnSingleRead, Addr: 8}, 0)
+}
+
+func TestBadWriteDataPanics(t *testing.T) {
+	b := newBridge()
+	defer func() {
+		if recover() == nil {
+			t.Error("single write without data should panic")
+		}
+	}()
+	b.Start(Txn{Kind: TxnSingleWrite, Addr: 4}, 0)
+}
+
+func TestMessageDeliveryPanics(t *testing.T) {
+	b := newBridge()
+	defer func() {
+		if recover() == nil {
+			t.Error("message flit to bridge should panic")
+		}
+	}()
+	b.Deliver(flit.Flit{Type: flit.Message}, 0)
+}
+
+func TestDuplicateReadDataPanics(t *testing.T) {
+	b := newBridge()
+	now := int64(0)
+	b.Start(Txn{Kind: TxnBlockRead, Addr: 0}, now)
+	pump(b, &now)
+	b.Deliver(flit.Flit{Type: flit.BlockRead, Sub: flit.SubData, Seq: 1, Burst: 1}, now)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate seq should panic")
+		}
+	}()
+	b.Deliver(flit.Flit{Type: flit.BlockRead, Sub: flit.SubData, Seq: 1, Burst: 1}, now)
+}
+
+func TestTxnKindStrings(t *testing.T) {
+	kinds := []TxnKind{TxnSingleRead, TxnSingleWrite, TxnBlockRead, TxnBlockWrite, TxnLock, TxnUnlock}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/pe"
+)
+
+func buildMulti(t *testing.T, numCompute, numMMU int) *System {
+	t.Helper()
+	cfg := DefaultConfig(numCompute, 8, cache.WriteBack)
+	cfg.NumMPMMUs = numMMU
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMultiMMUPlacement(t *testing.T) {
+	sys := buildMulti(t, 4, 4)
+	if len(sys.MMUs) != 4 {
+		t.Fatalf("%d MMUs", len(sys.MMUs))
+	}
+	// MPMMU nodes and compute nodes must be disjoint and all distinct.
+	seen := map[int]bool{}
+	for _, n := range sys.mmuNodes {
+		if seen[n] {
+			t.Fatalf("node %d reused", n)
+		}
+		seen[n] = true
+	}
+	for r := range sys.Procs {
+		n := sys.NodeOf(r)
+		if seen[n] {
+			t.Fatalf("compute rank %d collides with another node %d", r, n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestMultiMMUValidation(t *testing.T) {
+	cfg := DefaultConfig(14, 8, cache.WriteBack)
+	cfg.NumMPMMUs = 3 // 14 + 3 > 16
+	if err := cfg.Validate(); err == nil {
+		t.Error("overfull torus accepted")
+	}
+}
+
+func TestMultiMMULineInterleaving(t *testing.T) {
+	sys := buildMulti(t, 2, 2)
+	a := sys.Map.PrivateAddr(0, 0)
+	if sys.MMUFor(a) == sys.MMUFor(a+16) {
+		t.Error("adjacent lines should map to different MPMMUs with 2 memory nodes")
+	}
+	if sys.MMUFor(a) != sys.MMUFor(a+32) {
+		t.Error("line interleaving should have period 2 lines")
+	}
+	if sys.MMUFor(a) != sys.MMUFor(a+4) {
+		t.Error("words within one line must map to the same MPMMU")
+	}
+}
+
+// TestMultiMMUFunctional runs real programs against 2 memory nodes:
+// loads/stores and locks must behave identically to the single-MPMMU case.
+func TestMultiMMUFunctional(t *testing.T) {
+	sys := buildMulti(t, 3, 2)
+	base := sys.Map.PrivateAddr(0, 0)
+	shared := sys.Map.SharedAddr(0x100)
+	lockA := sys.Map.SharedAddr(0x400) // these two words live on
+	lockB := sys.Map.SharedAddr(0x410) // different MPMMUs
+	var sum uint32
+	progs := []pe.Program{
+		func(env *pe.Env) {
+			for k := uint32(0); k < 64; k++ {
+				env.StoreWord(base+4*k, k) // lines spread over both MMUs
+			}
+			var s uint32
+			for k := uint32(0); k < 64; k++ {
+				s += env.LoadWord(base + 4*k)
+			}
+			sum = s
+			env.StoreWordUncached(shared, 1)
+		},
+		func(env *pe.Env) {
+			env.Lock(lockA)
+			env.Lock(lockB)
+			env.Unlock(lockB)
+			env.Unlock(lockA)
+		},
+		func(env *pe.Env) {
+			for env.LoadWordUncached(shared) != 1 {
+			}
+		},
+	}
+	run(t, sys, progs...)
+	if want := uint32(64 * 63 / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	// Both memory nodes must have seen traffic.
+	for i, u := range sys.MMUs {
+		if u.Stats.BlockReads.Value()+u.Stats.BlockWrites.Value()+
+			u.Stats.SingleReads.Value()+u.Stats.SingleWrites.Value()+
+			u.Stats.Locks.Value() == 0 {
+			t.Errorf("MPMMU %d saw no traffic", i)
+		}
+	}
+}
+
+// TestMultiMMUSpreadsLoad checks that interleaving actually balances
+// request counts between the memory nodes under streaming traffic.
+func TestMultiMMUSpreadsLoad(t *testing.T) {
+	sys := buildMulti(t, 2, 2)
+	base := sys.Map.PrivateAddr(0, 0)
+	progs := []pe.Program{
+		func(env *pe.Env) {
+			for k := uint32(0); k < 256; k++ {
+				env.StoreWord(base+4*k, k)
+			}
+		},
+		func(env *pe.Env) {},
+	}
+	run(t, sys, progs...)
+	a := sys.MMUs[0].Stats.BlockReads.Value()
+	b := sys.MMUs[1].Stats.BlockReads.Value()
+	if a == 0 || b == 0 {
+		t.Fatalf("unbalanced: %d vs %d block reads", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("load imbalance: %d vs %d block reads", a, b)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report renders a human-readable summary of every statistics source in
+// the system: per-core cache and port counters, arbiter decisions, NoC
+// aggregates and MPMMU activity. Intended for CLI output and debugging.
+func (s *System) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system: %dx%d torus, %d compute cores + MPMMU (node %d), L1 %d kB %v, arbiter %v\n",
+		s.Cfg.TorusW, s.Cfg.TorusH, len(s.Procs), s.Cfg.MPMMUNode,
+		s.Cfg.CacheKB, s.Cfg.Policy, s.Cfg.Arbiter)
+	fmt.Fprintf(&b, "cycles: %d\n\n", s.Cycles())
+
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "core\tops\tcompute\tstall\tmem-ops\tmiss%%\tflits-out\tflits-in\tsends\trecvs\t\n")
+	for r, p := range s.Procs {
+		fmt.Fprintf(w, "pe%d(n%d)\t%d\t%d\t%d\t%d\t%.1f\t%d\t%d\t%d\t%d\t\n",
+			r, p.ID,
+			p.Stats.Ops.Value(), p.Stats.ComputeCycles.Value(), p.Stats.StallCycles.Value(),
+			p.Stats.MemOps.Value(), 100*p.Cache.Stats.MissRate(),
+			p.Port.Stats.FlitsSent.Value()+p.Bridge.Stats.FlitsSent.Value(),
+			p.Port.Stats.FlitsRecv.Value()+p.Bridge.Stats.FlitsRecv.Value(),
+			p.Stats.Sends.Value(), p.Stats.Recvs.Value())
+	}
+	w.Flush()
+
+	fmt.Fprintf(&b, "\nNoC: injected %d, delivered %d, mean latency %.1f cy (max %.0f), mean hops %.1f, deflections %d\n",
+		s.Net.Stats.Injected.Value(), s.Net.Stats.Delivered.Value(),
+		s.Net.Stats.Latency.Mean(), s.Net.Stats.Latency.Max(),
+		s.Net.Stats.Hops.Mean(), s.Net.TotalDeflections())
+	for i, u := range s.MMUs {
+		m := &u.Stats
+		fmt.Fprintf(&b, "MPMMU %d (node %d): reads %d/%d (single/block), writes %d/%d, locks %d (%d waited), unlocks %d, busy %d cy, reqQ peak %d, outQ peak %d, cache miss %.1f%%\n",
+			i, s.mmuNodes[i],
+			m.SingleReads.Value(), m.BlockReads.Value(),
+			m.SingleWrites.Value(), m.BlockWrites.Value(),
+			m.Locks.Value(), m.LockWaits.Value(), m.Unlocks.Value(),
+			m.BusyCycles.Value(), m.ReqQPeak, m.OutQPeak,
+			100*u.Cache().Stats.MissRate())
+	}
+	fmt.Fprintf(&b, "DDR: %d word reads, %d word writes\n",
+		s.DDR.Reads.Value(), s.DDR.Writes.Value())
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/pe"
+	"repro/internal/tie"
+)
+
+func TestReportContainsAllSections(t *testing.T) {
+	sys := build(t, 2, 8, cache.WriteBack)
+	run(t, sys,
+		func(env *pe.Env) {
+			env.StoreWord(sys.Map.PrivateAddr(0, 0), 1)
+			env.Send(sys.NodeOf(1), tie.Data, []uint32{1})
+		},
+		func(env *pe.Env) {
+			env.Recv(sys.NodeOf(0), tie.Data)
+		},
+	)
+	rep := sys.Report()
+	for _, want := range []string{
+		"system: 4x4 torus, 2 compute cores",
+		"pe0(n1)", "pe1(n2)",
+		"NoC: injected",
+		"MPMMU 0 (node 0): reads",
+		"cache miss",
+		"DDR:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package dse
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/jacobi"
+)
+
+// CompareRow holds the three programming-model variants evaluated on one
+// configuration, reproducing the paper's hybrid vs shared-memory analysis.
+type CompareRow struct {
+	Compute int
+	CacheKB int
+
+	HybridFull int64 // cycles/iteration, data + sync over messages
+	HybridSync int64 // cycles/iteration, data over shared memory, sync over messages
+	PureSM     int64 // cycles/iteration, pure shared memory
+
+	MissRate float64 // hybrid-full L1 miss rate (locates the cache knee)
+
+	// FullVsSM is the headline ratio: pure shared memory time over
+	// hybrid-full time (the paper reports 2x below the cache knee growing
+	// to >5x at 10 cores / 16 kB).
+	FullVsSM float64
+	// SyncVsSM isolates the synchronization benefit: pure-SM time over
+	// hybrid-sync time.
+	SyncVsSM float64
+	// FullVsSync isolates the data-exchange benefit: hybrid-sync time
+	// over hybrid-full time.
+	FullVsSync float64
+}
+
+// Compare runs all three variants for every core count at a fixed cache
+// size and returns one row per configuration.
+func Compare(n int, cores []int, cacheKB, warmup, measured int) ([]CompareRow, error) {
+	rows := make([]CompareRow, len(cores))
+	errs := make([]error, len(cores))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, c := range cores {
+		wg.Add(1)
+		go func(i, c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			row, err := compareOne(n, c, cacheKB, warmup, measured)
+			rows[i], errs[i] = row, err
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func compareOne(n, cores, cacheKB, warmup, measured int) (CompareRow, error) {
+	spec := jacobi.Spec{N: n, Warmup: warmup, Measured: measured}
+	row := CompareRow{Compute: cores, CacheKB: cacheKB}
+	for _, v := range []jacobi.Variant{jacobi.HybridFull, jacobi.HybridSync, jacobi.PureSM} {
+		cfg := core.DefaultConfig(cores, cacheKB, 0)
+		res, err := jacobi.Run(cfg, spec, v)
+		if err != nil {
+			return row, err
+		}
+		switch v {
+		case jacobi.HybridFull:
+			row.HybridFull = res.CyclesPerIteration
+			row.MissRate = res.MissRate
+		case jacobi.HybridSync:
+			row.HybridSync = res.CyclesPerIteration
+		case jacobi.PureSM:
+			row.PureSM = res.CyclesPerIteration
+		}
+	}
+	row.FullVsSM = float64(row.PureSM) / float64(row.HybridFull)
+	row.SyncVsSM = float64(row.PureSM) / float64(row.HybridSync)
+	row.FullVsSync = float64(row.HybridSync) / float64(row.HybridFull)
+	return row, nil
+}

@@ -1,0 +1,199 @@
+// Package dse drives the design-space exploration of the paper's Section
+// III: sweeps over core count, cache size and write policy (168
+// configurations), the chip-area model, Pareto pruning and the kill-rule
+// analysis that together produce Figures 6-9.
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/jacobi"
+)
+
+// Point is one evaluated design-space configuration.
+type Point struct {
+	Compute int // compute cores (the MPMMU is one additional node)
+	CacheKB int
+	Policy  cache.Policy
+
+	CyclesPerIter int64
+	MissRate      float64
+	AreaMM2       float64
+	Speedup       float64 // relative to the smallest-area configuration
+	Label         string  // paper-style "11P_16k$" label
+}
+
+// Options parameterizes a sweep.
+type Options struct {
+	N        int // grid size (16, 30 or 60)
+	Cores    []int
+	CachesKB []int
+	Policies []cache.Policy
+	Variant  jacobi.Variant
+	Warmup   int
+	Measured int
+	// Parallelism bounds concurrent simulations (each simulation itself
+	// is deterministic and single-threaded); 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// PaperCores returns the paper's compute-core range: 2..15 (3..16 total
+// nodes counting the MPMMU).
+func PaperCores() []int {
+	var out []int
+	for c := 2; c <= 15; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// PaperCaches returns the paper's cache sizes in kB: powers of two from 2
+// to 64.
+func PaperCaches() []int { return []int{2, 4, 8, 16, 32, 64} }
+
+// DefaultOptions returns the full 168-point sweep of the paper for grid
+// size n: 14 core counts x 6 cache sizes x 2 write policies.
+func DefaultOptions(n int) Options {
+	return Options{
+		N:        n,
+		Cores:    PaperCores(),
+		CachesKB: PaperCaches(),
+		Policies: []cache.Policy{cache.WriteBack, cache.WriteThrough},
+		Variant:  jacobi.HybridFull,
+		Warmup:   1,
+		Measured: 1,
+	}
+}
+
+// Sweep evaluates every configuration and returns the points sorted by
+// (policy, cache, cores). Runs execute concurrently; each simulation is
+// independently deterministic, so the result set is reproducible.
+func Sweep(o Options) ([]Point, error) {
+	if o.Warmup == 0 && o.Measured == 0 {
+		o.Warmup, o.Measured = 1, 1
+	}
+	if o.Measured == 0 {
+		o.Measured = 1
+	}
+	type job struct {
+		idx       int
+		cores, kb int
+		policy    cache.Policy
+	}
+	var jobs []job
+	for _, pol := range o.Policies {
+		for _, kb := range o.CachesKB {
+			for _, c := range o.Cores {
+				jobs = append(jobs, job{idx: len(jobs), cores: c, kb: kb, policy: pol})
+			}
+		}
+	}
+	points := make([]Point, len(jobs))
+	errs := make([]error, len(jobs))
+
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
+			spec := jacobi.Spec{N: o.N, Warmup: o.Warmup, Measured: o.Measured}
+			res, err := jacobi.Run(cfg, spec, o.Variant)
+			if err != nil {
+				errs[j.idx] = err
+				return
+			}
+			points[j.idx] = Point{
+				Compute: j.cores, CacheKB: j.kb, Policy: j.policy,
+				CyclesPerIter: res.CyclesPerIteration,
+				MissRate:      res.MissRate,
+				AreaMM2:       Area(j.cores, j.kb, cfg.MPMMUCacheKB),
+				Label:         fmt.Sprintf("%dP_%dk$", j.cores, j.kb),
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	AttachSpeedup(points)
+	return points, nil
+}
+
+// AttachSpeedup fills the Speedup field of every point relative to the
+// smallest-area configuration ("starting from the architecture with the
+// smallest area", as the paper's pruning does). Write-through points share
+// the write-back baseline so speedups are comparable across policies.
+func AttachSpeedup(points []Point) {
+	if len(points) == 0 {
+		return
+	}
+	base := -1
+	for i, p := range points {
+		if base < 0 || p.AreaMM2 < points[base].AreaMM2 ||
+			(p.AreaMM2 == points[base].AreaMM2 && p.CyclesPerIter > points[base].CyclesPerIter) {
+			base = i
+		}
+	}
+	ref := float64(points[base].CyclesPerIter)
+	for i := range points {
+		points[i].Speedup = ref / float64(points[i].CyclesPerIter)
+	}
+}
+
+// ParetoFront returns the points that are not Pareto-dominated (no other
+// point has smaller-or-equal area and strictly higher speedup), sorted by
+// increasing area. Among equal-area points only the fastest survives.
+func ParetoFront(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].AreaMM2 != sorted[j].AreaMM2 {
+			return sorted[i].AreaMM2 < sorted[j].AreaMM2
+		}
+		return sorted[i].Speedup > sorted[j].Speedup
+	})
+	var front []Point
+	best := -1.0
+	for _, p := range sorted {
+		if p.Speedup > best {
+			front = append(front, p)
+			best = p.Speedup
+		}
+	}
+	return front
+}
+
+// KillRuleKnee applies the paper's "kill if less than linear" rule ([19])
+// to a Pareto front: walking up the front, a step is worth taking only if
+// the relative performance gain is at least the relative area increase.
+// It returns the index (into front) of the last configuration that still
+// satisfies the rule — the paper's optimal design point.
+func KillRuleKnee(front []Point) int {
+	if len(front) == 0 {
+		return -1
+	}
+	knee := 0
+	for i := 1; i < len(front); i++ {
+		prev, cur := front[knee], front[i]
+		dPerf := (cur.Speedup - prev.Speedup) / prev.Speedup
+		dArea := (cur.AreaMM2 - prev.AreaMM2) / prev.AreaMM2
+		if dArea <= 0 || dPerf >= dArea {
+			knee = i
+		}
+	}
+	return knee
+}

@@ -1,0 +1,151 @@
+package dse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+)
+
+// Experiment fidelity: Quick keeps the qualitative shape with a reduced
+// grid so CI and benchmarks stay fast; Full is the paper's exact 168-point
+// sweep.
+type Fidelity int
+
+const (
+	// Quick uses a reduced core/cache grid (shape-preserving).
+	Quick Fidelity = iota
+	// Full is the paper's complete parameter grid.
+	Full
+)
+
+func coresFor(f Fidelity) []int {
+	if f == Full {
+		return PaperCores()
+	}
+	return []int{2, 4, 6, 8, 10, 12, 15}
+}
+
+func cachesFor(f Fidelity) []int {
+	if f == Full {
+		return PaperCaches()
+	}
+	return []int{2, 8, 16, 64}
+}
+
+// Fig6 reproduces Figure 6: execution time for a 60x60 array varying the
+// number of cores, the cache size and the cache policy. It returns the
+// rendered table and the raw points (which Fig7 reuses).
+func Fig6(f Fidelity) (string, []Point, error) {
+	o := DefaultOptions(60)
+	o.Cores = coresFor(f)
+	o.CachesKB = cachesFor(f)
+	pts, err := Sweep(o)
+	if err != nil {
+		return "", nil, fmt.Errorf("fig6: %w", err)
+	}
+	return Fig6Table(pts, "Fig. 6 — Execution time (cycles/iteration), 60x60 array"), pts, nil
+}
+
+// Fig7 reproduces Figure 7: optimal speedup and corresponding
+// configuration versus chip area for the 60x60 array, from the Fig. 6
+// sweep points.
+func Fig7(points []Point) string {
+	front := ParetoFront(points)
+	knee := KillRuleKnee(front)
+	return ParetoTable(front, knee, "Fig. 7 — Optimal speedup vs chip area, 60x60 array")
+}
+
+// Fig8 reproduces Figure 8: execution time for a 30x30 array, write-back
+// caches only, 2-32 kB.
+func Fig8(f Fidelity) (string, []Point, error) {
+	o := DefaultOptions(30)
+	o.Cores = coresFor(f)
+	o.Policies = []cache.Policy{cache.WriteBack}
+	if f == Full {
+		o.CachesKB = []int{2, 4, 8, 16, 32}
+	} else {
+		o.CachesKB = []int{2, 4, 16, 32}
+	}
+	pts, err := Sweep(o)
+	if err != nil {
+		return "", nil, fmt.Errorf("fig8: %w", err)
+	}
+	return Fig6Table(pts, "Fig. 8 — Execution time (cycles/iteration), 30x30 array, write-back"), pts, nil
+}
+
+// Fig9 reproduces Figure 9: optimal speedup versus chip area for the
+// 30x30 array, from the Fig. 8 sweep points (write-back, as the labelled
+// optimal configurations in the paper all are).
+func Fig9(points []Point) string {
+	front := ParetoFront(points)
+	knee := KillRuleKnee(front)
+	return ParetoTable(front, knee, "Fig. 9 — Optimal speedup vs chip area, 30x30 array")
+}
+
+// HybridComparison reproduces the prose analysis of Section III (T-1 and
+// T-2 in DESIGN.md): the three programming-model variants on a 60x60 array
+// with 16 kB caches across core counts, reporting the pure-SM/hybrid and
+// sync-only ratios.
+func HybridComparison(f Fidelity) (string, []CompareRow, error) {
+	cores := []int{2, 4, 6, 8, 10}
+	if f == Full {
+		cores = []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	}
+	rows, err := Compare(60, cores, 16, 1, 1)
+	if err != nil {
+		return "", nil, fmt.Errorf("hybrid comparison: %w", err)
+	}
+	return CompareTable(rows,
+		"Hybrid vs shared-memory (60x60, 16 kB WB): paper reports 2x below the knee, up to >5x at 10 cores"), rows, nil
+}
+
+// SmallCacheComparison runs the variant comparison in the miss-dominated
+// regime (2 kB caches), where the paper reports the sync-only hybrid
+// within 2-20% of the full hybrid.
+func SmallCacheComparison(f Fidelity) (string, []CompareRow, error) {
+	cores := []int{2, 6, 10}
+	if f == Full {
+		cores = []int{2, 4, 6, 8, 10, 12}
+	}
+	rows, err := Compare(60, cores, 2, 1, 1)
+	if err != nil {
+		return "", nil, fmt.Errorf("small-cache comparison: %w", err)
+	}
+	return CompareTable(rows,
+		"Miss-dominated regime (60x60, 2 kB WB): sync-only hybrid should track the full hybrid within 2-20%"), rows, nil
+}
+
+// AllExperiments renders every figure and comparison at the given
+// fidelity, in paper order.
+func AllExperiments(f Fidelity) (string, error) {
+	var b strings.Builder
+	t6, p6, err := Fig6(f)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(t6)
+	b.WriteString("\n")
+	b.WriteString(Fig7(p6))
+	b.WriteString("\n")
+	t8, p8, err := Fig8(f)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(t8)
+	b.WriteString("\n")
+	b.WriteString(Fig9(p8))
+	b.WriteString("\n")
+	th, _, err := HybridComparison(f)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(th)
+	b.WriteString("\n")
+	ts, _, err := SmallCacheComparison(f)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(ts)
+	return b.String(), nil
+}

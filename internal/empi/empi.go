@@ -1,0 +1,131 @@
+// Package empi implements the paper's embedded-MPI subset: MPI_send,
+// MPI_receive and MPI_barrier layered directly on the TIE message-passing
+// port, so cores synchronize and exchange data without touching the global
+// shared memory.
+//
+// Data messages travel as Data-class logical packets of up to 16 words;
+// longer messages are fragmented and reassembled in order (the NoC's
+// double-buffered receive interface preserves per-source packet order).
+// Synchronization uses Req-class single-flit token packets; Barrier is a
+// linear gather at rank 0 followed by a broadcast release.
+package empi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flit"
+	"repro/internal/pe"
+	"repro/internal/tie"
+)
+
+// Comm is one core's view of the communicator spanning all compute cores.
+type Comm struct {
+	env    *pe.Env
+	nodeOf []int // rank -> NoC node id
+	rank   int
+}
+
+// New creates the communicator for the calling core. nodeOf maps every
+// rank to its NoC node id and must be identical on all cores.
+func New(env *pe.Env, nodeOf []int) (*Comm, error) {
+	rank := env.Rank()
+	if rank < 0 || rank >= len(nodeOf) {
+		return nil, fmt.Errorf("empi: rank %d outside communicator of size %d", rank, len(nodeOf))
+	}
+	if nodeOf[rank] != env.NodeID() {
+		return nil, fmt.Errorf("empi: rank %d maps to node %d but is running on node %d",
+			rank, nodeOf[rank], env.NodeID())
+	}
+	return &Comm{env: env, nodeOf: append([]int(nil), nodeOf...), rank: rank}, nil
+}
+
+// Rank returns the calling core's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.nodeOf) }
+
+// Send transmits words to dst (MPI_send). The message is fragmented into
+// logical packets of at most 16 words.
+func (c *Comm) Send(dst int, words []uint32) {
+	node := c.nodeOf[dst]
+	for len(words) > 0 {
+		n := len(words)
+		if n > flit.MaxLogicalPacket {
+			n = flit.MaxLogicalPacket
+		}
+		c.env.Send(node, tie.Data, words[:n])
+		words = words[n:]
+	}
+}
+
+// Recv receives exactly n words from src (MPI_receive), blocking until the
+// full message has arrived.
+func (c *Comm) Recv(src int, n int) []uint32 {
+	node := c.nodeOf[src]
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		remaining := n - len(out)
+		want := remaining
+		if want > flit.MaxLogicalPacket {
+			want = flit.MaxLogicalPacket
+		}
+		pkt := c.env.Recv(node, tie.Data)
+		if len(pkt.Words) < want {
+			panic(fmt.Sprintf("empi: fragment of %d words, expected at least %d", len(pkt.Words), want))
+		}
+		out = append(out, pkt.Words[:want]...)
+	}
+	return out
+}
+
+// SendDoubles transmits float64 values (two words each, low word first).
+func (c *Comm) SendDoubles(dst int, vals []float64) {
+	words := make([]uint32, 0, 2*len(vals))
+	for _, v := range vals {
+		b := math.Float64bits(v)
+		words = append(words, uint32(b), uint32(b>>32))
+	}
+	c.Send(dst, words)
+}
+
+// RecvDoubles receives n float64 values from src.
+func (c *Comm) RecvDoubles(src int, n int) []float64 {
+	words := c.Recv(src, 2*n)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(uint64(words[2*i]) | uint64(words[2*i+1])<<32)
+	}
+	return out
+}
+
+// SendToken sends a single-flit Req-class synchronization token to dst.
+func (c *Comm) SendToken(dst int, token uint32) {
+	c.env.Send(c.nodeOf[dst], tie.Req, []uint32{token})
+}
+
+// RecvToken receives a synchronization token from src.
+func (c *Comm) RecvToken(src int) uint32 {
+	pkt := c.env.Recv(c.nodeOf[src], tie.Req)
+	return pkt.Words[0]
+}
+
+// Barrier synchronizes all ranks (MPI_barrier): non-root ranks send a
+// token to rank 0 and wait for the release token; rank 0 gathers Size()-1
+// tokens and broadcasts the release. All traffic is Req-class and never
+// touches shared memory.
+func (c *Comm) Barrier() {
+	const barrierToken = 0xBA77
+	if c.rank == 0 {
+		for i := 1; i < c.Size(); i++ {
+			c.env.RecvAny(tie.Req)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.SendToken(r, barrierToken)
+		}
+		return
+	}
+	c.SendToken(0, barrierToken)
+	c.RecvToken(0)
+}

@@ -1,0 +1,117 @@
+package flit
+
+import "fmt"
+
+// Codec packs and unpacks flits into the on-wire bit layout of Fig. 5.
+// The X/Y coordinate widths depend on the network size (2+2 bits for the
+// paper's 4x4 folded torus); all other field widths are fixed.
+//
+// Bit layout, LSB first:
+//
+//	[0]                valid bit
+//	[1 .. xBits]       destination X
+//	[.. +yBits]        destination Y
+//	[.. +3]            type
+//	[.. +2]            sub-type
+//	[.. +4]            sequence number
+//	[.. +2]            burst size code
+//	[.. +4]            source id
+//	[.. +2]            packet index
+//	[.. +32]           data payload
+type Codec struct {
+	XBits, YBits uint8
+}
+
+// NewCodec returns a codec for a network with the given torus dimensions.
+func NewCodec(width, height int) (Codec, error) {
+	xb := bitsFor(width)
+	yb := bitsFor(height)
+	c := Codec{XBits: xb, YBits: yb}
+	if c.TotalBits() > 64 {
+		return Codec{}, fmt.Errorf("flit: %dx%d torus needs %d flit bits (>64)", width, height, c.TotalBits())
+	}
+	return c, nil
+}
+
+func bitsFor(n int) uint8 {
+	if n <= 1 {
+		return 1
+	}
+	b := uint8(0)
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// TotalBits returns the number of bits in the packed representation,
+// including the valid bit.
+func (c Codec) TotalBits() int {
+	return 1 + int(c.XBits) + int(c.YBits) + TypeBits + SubBits + SeqBits + BurstBits + SrcBits + PktIdxBits + DataBits
+}
+
+// Pack encodes a flit into a 64-bit word with the valid bit set.
+func (c Codec) Pack(f Flit) (uint64, error) {
+	if f.DstX >= 1<<c.XBits {
+		return 0, fmt.Errorf("flit: dstX %d does not fit in %d bits", f.DstX, c.XBits)
+	}
+	if f.DstY >= 1<<c.YBits {
+		return 0, fmt.Errorf("flit: dstY %d does not fit in %d bits", f.DstY, c.YBits)
+	}
+	if !f.Type.Valid() {
+		return 0, fmt.Errorf("flit: invalid type %d", f.Type)
+	}
+	if f.Seq > MaxSeq {
+		return 0, fmt.Errorf("flit: seq %d does not fit in %d bits", f.Seq, SeqBits)
+	}
+	if f.Burst > 3 {
+		return 0, fmt.Errorf("flit: burst code %d does not fit in %d bits", f.Burst, BurstBits)
+	}
+	if f.Src > MaxSrc {
+		return 0, fmt.Errorf("flit: src %d does not fit in %d bits", f.Src, SrcBits)
+	}
+	if f.PktIdx >= NumPktIdx {
+		return 0, fmt.Errorf("flit: packet index %d does not fit in %d bits", f.PktIdx, PktIdxBits)
+	}
+	var w uint64
+	pos := uint(0)
+	put := func(v uint64, bits uint) {
+		w |= (v & (1<<bits - 1)) << pos
+		pos += bits
+	}
+	put(1, 1) // valid
+	put(uint64(f.DstX), uint(c.XBits))
+	put(uint64(f.DstY), uint(c.YBits))
+	put(uint64(f.Type), TypeBits)
+	put(uint64(f.Sub), SubBits)
+	put(uint64(f.Seq), SeqBits)
+	put(uint64(f.Burst), BurstBits)
+	put(uint64(f.Src), SrcBits)
+	put(uint64(f.PktIdx), PktIdxBits)
+	put(uint64(f.Data), DataBits)
+	return w, nil
+}
+
+// Unpack decodes a 64-bit word into a flit. It reports ok=false when the
+// valid bit is clear (an idle link), in which case the flit is zero.
+func (c Codec) Unpack(w uint64) (f Flit, ok bool) {
+	pos := uint(0)
+	get := func(bits uint) uint64 {
+		v := (w >> pos) & (1<<bits - 1)
+		pos += bits
+		return v
+	}
+	if get(1) == 0 {
+		return Flit{}, false
+	}
+	f.DstX = uint8(get(uint(c.XBits)))
+	f.DstY = uint8(get(uint(c.YBits)))
+	f.Type = Type(get(TypeBits))
+	f.Sub = SubType(get(SubBits))
+	f.Seq = uint8(get(SeqBits))
+	f.Burst = uint8(get(BurstBits))
+	f.Src = uint8(get(SrcBits))
+	f.PktIdx = uint8(get(PktIdxBits))
+	f.Data = uint32(get(DataBits))
+	return f, true
+}

@@ -1,0 +1,177 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		SingleRead:  "single-read",
+		SingleWrite: "single-write",
+		BlockRead:   "block-read",
+		BlockWrite:  "block-write",
+		Lock:        "lock",
+		Unlock:      "unlock",
+		Message:     "message",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+		if !typ.Valid() {
+			t.Errorf("Type %v should be valid", typ)
+		}
+	}
+	if Type(7).Valid() {
+		t.Error("Type(7) should be invalid")
+	}
+}
+
+func TestIsSharedMemory(t *testing.T) {
+	for typ := SingleRead; typ <= Unlock; typ++ {
+		if !typ.IsSharedMemory() {
+			t.Errorf("%v should be shared-memory", typ)
+		}
+	}
+	if Message.IsSharedMemory() {
+		t.Error("Message should not be shared-memory")
+	}
+}
+
+func TestBurstCodes(t *testing.T) {
+	for _, n := range []int{1, 4, 8, 16} {
+		code, err := EncodeBurst(n)
+		if err != nil {
+			t.Fatalf("EncodeBurst(%d): %v", n, err)
+		}
+		if got := DecodeBurst(code); got != n {
+			t.Errorf("DecodeBurst(EncodeBurst(%d)) = %d", n, got)
+		}
+	}
+	for _, n := range []int{0, 2, 3, 5, 7, 9, 15, 17, 32} {
+		if _, err := EncodeBurst(n); err == nil {
+			t.Errorf("EncodeBurst(%d) should fail", n)
+		}
+	}
+}
+
+func TestRoundUpBurst(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 4, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 16: 16, 20: 16}
+	for in, want := range cases {
+		if got := RoundUpBurst(in); got != want {
+			t.Errorf("RoundUpBurst(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSubTypeAliases(t *testing.T) {
+	if SubMsgReq != SubAddr {
+		t.Error("SubMsgReq must alias SubAddr (the Data/Req bit)")
+	}
+	if SubMsgData != SubData {
+		t.Error("SubMsgData must alias SubData")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c, err := NewCodec(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Flit{
+		DstX: 3, DstY: 1,
+		Type: BlockRead, Sub: SubData, Seq: 9, Burst: 1,
+		Src: 14, Data: 0xDEADBEEF,
+	}
+	w, err := c.Pack(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Unpack(w)
+	if !ok {
+		t.Fatal("valid bit lost")
+	}
+	if got != f {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, f)
+	}
+}
+
+func TestCodecIdleWord(t *testing.T) {
+	c, _ := NewCodec(4, 4)
+	if _, ok := c.Unpack(0); ok {
+		t.Error("zero word should be invalid (idle link)")
+	}
+}
+
+func TestCodecFieldValidation(t *testing.T) {
+	c, _ := NewCodec(4, 4)
+	bad := []Flit{
+		{DstX: 4},       // X out of range for 2 bits
+		{DstY: 4},       // Y out of range
+		{Type: Type(7)}, // undefined type
+		{Seq: 16},       // seq field is 4 bits
+		{Burst: 4},      // burst field is 2 bits
+		{Src: 16},       // src field is 4 bits
+		{PktIdx: 4},     // packet index is 2 bits
+	}
+	for i, f := range bad {
+		if _, err := c.Pack(f); err == nil {
+			t.Errorf("case %d: Pack(%+v) should fail", i, f)
+		}
+	}
+}
+
+func TestCodecTotalBits(t *testing.T) {
+	c, _ := NewCodec(4, 4)
+	// 1 valid + 2 X + 2 Y + 3 type + 2 sub + 4 seq + 2 burst + 4 src +
+	// 2 pkt-idx + 32 data. The paper's Fig. 5 layout is 52 bits; this
+	// reproduction spends 2 of the 12 reserved bits of the 64-bit flit
+	// on the packet index.
+	if got := c.TotalBits(); got != 54 {
+		t.Errorf("4x4 codec TotalBits = %d, want 54", got)
+	}
+}
+
+func TestCodecTooWide(t *testing.T) {
+	if _, err := NewCodec(1<<10, 1<<10); err == nil {
+		t.Error("a torus needing >64 flit bits must be rejected")
+	}
+}
+
+// TestCodecRoundTripQuick property-tests pack/unpack identity over the
+// whole legal field space.
+func TestCodecRoundTripQuick(t *testing.T) {
+	c, _ := NewCodec(4, 4)
+	fn := func(x, y, typ, sub, seq, burst, src, idx uint8, data uint32) bool {
+		f := Flit{
+			DstX: x & 3, DstY: y & 3,
+			Type: Type(typ % 7), Sub: SubType(sub & 3),
+			Seq: seq & 15, Burst: burst & 3,
+			Src: src & 15, PktIdx: idx & 3, Data: data,
+		}
+		w, err := c.Pack(f)
+		if err != nil {
+			return false
+		}
+		got, ok := c.Unpack(w)
+		return ok && got == f
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurstLen(t *testing.T) {
+	f := Flit{Burst: 1}
+	if f.BurstLen() != 4 {
+		t.Errorf("BurstLen with code 1 = %d, want 4", f.BurstLen())
+	}
+}
+
+func TestFlitString(t *testing.T) {
+	f := Flit{DstX: 1, DstY: 2, Type: Message, Sub: SubMsgData, Src: 3}
+	if s := f.String(); s == "" {
+		t.Error("String() should not be empty")
+	}
+}

@@ -1,0 +1,22 @@
+package jacobi
+
+import "testing"
+
+func TestGapFeasibleAllSweepPoints(t *testing.T) {
+	for _, n := range []int{16, 30, 60} {
+		for p := 1; p <= 15; p++ {
+			for _, b := range Partition(n, p) {
+				l := Layout{N: n, Block: b}
+				g := l.bufGap()
+				if g < l.bufBytes() {
+					t.Fatalf("n=%d p=%d rank=%d: gap %d < len %d", n, p, b.Rank, g, l.bufBytes())
+				}
+				for _, s := range sweepCaches {
+					if 2*l.bufBytes() <= s && (g%s < l.bufBytes() || g%s > s-l.bufBytes()) {
+						t.Errorf("n=%d p=%d rank=%d size=%d: fit-case overlap (gap %d)", n, p, b.Rank, s, g)
+					}
+				}
+			}
+		}
+	}
+}

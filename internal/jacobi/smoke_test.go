@@ -1,0 +1,31 @@
+package jacobi
+
+import "testing"
+
+func TestSmokeHybridFull(t *testing.T) {
+	res, err := RunQuick(3, 8, HybridFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hybrid-full 16x16 on 3 cores: %d cycles/iter, total %d, missrate %.3f, flits %d",
+		res.CyclesPerIteration, res.TotalCycles, res.MissRate, res.NoCFlits)
+	if res.CyclesPerIteration <= 0 {
+		t.Fatalf("non-positive measured cycles: %d", res.CyclesPerIteration)
+	}
+}
+
+func TestSmokeHybridSync(t *testing.T) {
+	res, err := RunQuick(3, 8, HybridSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hybrid-sync: %d cycles/iter", res.CyclesPerIteration)
+}
+
+func TestSmokePureSM(t *testing.T) {
+	res, err := RunQuick(3, 8, PureSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pure-sm: %d cycles/iter", res.CyclesPerIteration)
+}

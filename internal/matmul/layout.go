@@ -1,0 +1,91 @@
+package matmul
+
+import (
+	"fmt"
+
+	"repro/internal/memmap"
+	"repro/internal/memory"
+)
+
+// Layout computes per-rank addresses. Each rank keeps its A rows, its C
+// rows and a private copy of B in its private segment; the master copy of
+// B lives at the base of the shared segment.
+type Layout struct {
+	N     int
+	Block RowBlock
+	mm    memmap.Map
+}
+
+// NewLayout builds the layout for one rank.
+func NewLayout(mm memmap.Map, n int, b RowBlock) Layout {
+	l := Layout{N: n, Block: b, mm: mm}
+	need := uint64(l.bOff()) + uint64(n)*uint64(n)*8
+	if need > uint64(mm.PrivateSize) {
+		panic(fmt.Sprintf("matmul: rank %d needs %d private bytes", b.Rank, need))
+	}
+	return l
+}
+
+func (l Layout) rowBytes() uint32 { return uint32(l.N) * 8 }
+
+func (l Layout) cOff() uint32 {
+	return align64(uint32(l.Block.Rows) * l.rowBytes())
+}
+
+func (l Layout) bOff() uint32 {
+	return align64(l.cOff() + uint32(l.Block.Rows)*l.rowBytes())
+}
+
+func align64(v uint32) uint32 { return (v + 63) &^ 63 }
+
+// AAddr returns the private address of A[localRow][col].
+func (l Layout) AAddr(localRow, col int) uint32 {
+	return l.mm.PrivateAddr(l.Block.Rank, uint32(localRow)*l.rowBytes()+uint32(col)*8)
+}
+
+// CAddr returns the private address of C[localRow][col].
+func (l Layout) CAddr(localRow, col int) uint32 {
+	return l.mm.PrivateAddr(l.Block.Rank, l.cOff()+uint32(localRow)*l.rowBytes()+uint32(col)*8)
+}
+
+// BAddr returns the private address of the local copy of B[row][col].
+func (l Layout) BAddr(row, col int) uint32 {
+	return l.mm.PrivateAddr(l.Block.Rank, l.bOff()+uint32(row)*l.rowBytes()+uint32(col)*8)
+}
+
+// SharedBAddr returns the shared-segment address of the master B[row][col].
+func (l Layout) SharedBAddr(row, col int) uint32 {
+	return l.mm.SharedAddr(uint32(row)*l.rowBytes() + uint32(col)*8)
+}
+
+// BarrierCountAddr and BarrierSenseAddr place the lock-based barrier words
+// on separate lines above the master B.
+func (l Layout) BarrierCountAddr() uint32 {
+	return l.mm.SharedAddr(align64(uint32(l.N)*l.rowBytes()) + 64)
+}
+
+// BarrierSenseAddr returns the barrier sense word's address.
+func (l Layout) BarrierSenseAddr() uint32 { return l.BarrierCountAddr() + 64 }
+
+// Preload writes A's row blocks into each active rank's private segment
+// and the master B into the shared segment.
+func Preload(ddr *memory.DDR, mm memmap.Map, n int, blocks []RowBlock) {
+	a, b := InitA(n), InitB(n)
+	for _, blk := range blocks {
+		if !blk.Active() {
+			continue
+		}
+		l := NewLayout(mm, n, blk)
+		for lr := 0; lr < blk.Rows; lr++ {
+			for col := 0; col < n; col++ {
+				ddr.WriteFloat64(l.AAddr(lr, col), a[blk.Row0+lr][col])
+			}
+		}
+	}
+	l := NewLayout(mm, n, blocks[0])
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			ddr.WriteFloat64(l.SharedBAddr(r, c), b[r][c])
+		}
+	}
+}

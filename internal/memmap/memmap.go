@@ -1,0 +1,114 @@
+// Package memmap defines the MEDEA global shared-memory layout: the single
+// memory-mapped address space served by the MPMMU is divided into N private
+// segments (one per core, cacheable without coherency concerns because only
+// the owner touches them) and one shared segment (where software manages
+// coherency explicitly with flush/invalidate and lock/unlock, as described
+// in the paper's programming-model section).
+package memmap
+
+import "fmt"
+
+// Segment classifies an address.
+type Segment int
+
+const (
+	// Private is a per-core segment; cacheable with no coherency actions.
+	Private Segment = iota
+	// Shared is the single shared segment; software-managed coherency.
+	Shared
+	// Unmapped addresses are a programming error.
+	Unmapped
+)
+
+// String implements fmt.Stringer.
+func (s Segment) String() string {
+	switch s {
+	case Private:
+		return "private"
+	case Shared:
+		return "shared"
+	}
+	return "unmapped"
+}
+
+// Map is the address-space layout. All segments live in the MPMMU's DDR.
+type Map struct {
+	NumCores    int    // number of compute cores (private segments)
+	PrivateBase uint32 // base of core 0's private segment
+	PrivateSize uint32 // bytes per private segment
+	SharedBase  uint32 // base of the shared segment
+	SharedSize  uint32 // bytes of shared segment
+}
+
+// DefaultMap returns the layout used by the reproduction: 1 MiB of private
+// space per core starting at 16 MiB, and 1 MiB of shared space above the
+// private segments.
+func DefaultMap(numCores int) Map {
+	const mib = 1 << 20
+	m := Map{
+		NumCores:    numCores,
+		PrivateBase: 16 * mib,
+		PrivateSize: mib,
+	}
+	m.SharedBase = m.PrivateBase + uint32(numCores)*m.PrivateSize
+	m.SharedSize = mib
+	return m
+}
+
+// Validate checks internal consistency.
+func (m Map) Validate() error {
+	if m.NumCores <= 0 {
+		return fmt.Errorf("memmap: need at least one core, got %d", m.NumCores)
+	}
+	if m.PrivateSize == 0 || m.SharedSize == 0 {
+		return fmt.Errorf("memmap: zero-sized segment")
+	}
+	privEnd := uint64(m.PrivateBase) + uint64(m.NumCores)*uint64(m.PrivateSize)
+	if privEnd > 1<<32 {
+		return fmt.Errorf("memmap: private segments overflow the 32-bit space")
+	}
+	if uint64(m.SharedBase) < privEnd {
+		return fmt.Errorf("memmap: shared segment overlaps private segments")
+	}
+	if uint64(m.SharedBase)+uint64(m.SharedSize) > 1<<32 {
+		return fmt.Errorf("memmap: shared segment overflows the 32-bit space")
+	}
+	return nil
+}
+
+// PrivateAddr returns the absolute address of offset off in core's private
+// segment.
+func (m Map) PrivateAddr(core int, off uint32) uint32 {
+	if core < 0 || core >= m.NumCores {
+		panic(fmt.Sprintf("memmap: core %d out of range", core))
+	}
+	if off >= m.PrivateSize {
+		panic(fmt.Sprintf("memmap: private offset %#x out of range", off))
+	}
+	return m.PrivateBase + uint32(core)*m.PrivateSize + off
+}
+
+// SharedAddr returns the absolute address of offset off in the shared
+// segment.
+func (m Map) SharedAddr(off uint32) uint32 {
+	if off >= m.SharedSize {
+		panic(fmt.Sprintf("memmap: shared offset %#x out of range", off))
+	}
+	return m.SharedBase + off
+}
+
+// Classify returns the segment an address belongs to and, for private
+// addresses, the owning core.
+func (m Map) Classify(addr uint32) (Segment, int) {
+	if addr >= m.PrivateBase {
+		off := addr - m.PrivateBase
+		core := int(off / m.PrivateSize)
+		if core < m.NumCores {
+			return Private, core
+		}
+	}
+	if addr >= m.SharedBase && addr-m.SharedBase < m.SharedSize {
+		return Shared, -1
+	}
+	return Unmapped, -1
+}

@@ -1,0 +1,110 @@
+package memmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMapValid(t *testing.T) {
+	for _, n := range []int{1, 2, 15} {
+		m := DefaultMap(n)
+		if err := m.Validate(); err != nil {
+			t.Errorf("DefaultMap(%d): %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := []Map{
+		{NumCores: 0, PrivateBase: 0, PrivateSize: 1, SharedBase: 1, SharedSize: 1},
+		{NumCores: 1, PrivateBase: 0, PrivateSize: 0, SharedBase: 1, SharedSize: 1},
+		// Shared overlaps private:
+		{NumCores: 2, PrivateBase: 0, PrivateSize: 0x1000, SharedBase: 0x1000, SharedSize: 0x1000},
+		// Private segments overflow 32 bits:
+		{NumCores: 16, PrivateBase: 0xF000_0000, PrivateSize: 0x1000_0000, SharedBase: 0, SharedSize: 1},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should be invalid: %+v", i, m)
+		}
+	}
+}
+
+func TestAddressConstruction(t *testing.T) {
+	m := DefaultMap(4)
+	a0 := m.PrivateAddr(0, 0)
+	if a0 != m.PrivateBase {
+		t.Errorf("core 0 offset 0 = %#x", a0)
+	}
+	a3 := m.PrivateAddr(3, 0x10)
+	if a3 != m.PrivateBase+3*m.PrivateSize+0x10 {
+		t.Errorf("core 3 addr = %#x", a3)
+	}
+	s := m.SharedAddr(0x20)
+	if s != m.SharedBase+0x20 {
+		t.Errorf("shared addr = %#x", s)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	m := DefaultMap(3)
+	for core := 0; core < 3; core++ {
+		seg, owner := m.Classify(m.PrivateAddr(core, 123))
+		if seg != Private || owner != core {
+			t.Errorf("core %d private classified as %v/%d", core, seg, owner)
+		}
+	}
+	seg, _ := m.Classify(m.SharedAddr(0))
+	if seg != Shared {
+		t.Errorf("shared classified as %v", seg)
+	}
+	seg, _ = m.Classify(0x10)
+	if seg != Unmapped {
+		t.Errorf("low address classified as %v", seg)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := DefaultMap(2)
+	for _, fn := range []func(){
+		func() { m.PrivateAddr(2, 0) },
+		func() { m.PrivateAddr(-1, 0) },
+		func() { m.PrivateAddr(0, m.PrivateSize) },
+		func() { m.SharedAddr(m.SharedSize) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range address should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestClassifyRoundTripQuick: every constructed private/shared address
+// classifies back to its segment and owner.
+func TestClassifyRoundTripQuick(t *testing.T) {
+	m := DefaultMap(7)
+	fn := func(core uint8, off uint32) bool {
+		c := int(core) % m.NumCores
+		po := off % m.PrivateSize
+		seg, owner := m.Classify(m.PrivateAddr(c, po))
+		if seg != Private || owner != c {
+			return false
+		}
+		so := off % m.SharedSize
+		seg, _ = m.Classify(m.SharedAddr(so))
+		return seg == Shared
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	if Private.String() != "private" || Shared.String() != "shared" || Unmapped.String() != "unmapped" {
+		t.Error("segment strings wrong")
+	}
+}

@@ -1,0 +1,380 @@
+// Package mpmmu implements the Multiprocessor Memory Management Unit: the
+// special slave node that serves every shared-memory transaction in the
+// system. It owns the DDR backing store, fronts it with a local cache, and
+// runs the paper's Request/Data protocol: write requests are granted before
+// data is accepted (an implicit flow-control scheme that keeps local
+// buffers minimal) and read requests are answered immediately through the
+// outgoing FIFO. Lock/unlock requests maintain a per-word lock table with
+// FIFO waiters, providing the atomic sections the pure shared-memory
+// programming model needs.
+package mpmmu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/flit"
+	"repro/internal/memory"
+	"repro/internal/queue"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the MPMMU.
+type Config struct {
+	// NodeID is the MPMMU's position on the NoC.
+	NodeID int
+	// NumCores sizes the Pif-Request/Control queue ("as large as the
+	// number of processors").
+	NumCores int
+	// CacheKB sizes the MPMMU's local data cache.
+	CacheKB int
+	// HitCycles is the local-cache hit latency.
+	HitCycles int64
+}
+
+// DefaultConfig returns the MPMMU configuration used by the reproduction:
+// a 32 kB local write-back cache with a 2-cycle hit latency.
+func DefaultConfig(nodeID, numCores int) Config {
+	return Config{NodeID: nodeID, NumCores: numCores, CacheKB: 32, HitCycles: 2}
+}
+
+// Stats counts MPMMU activity.
+type Stats struct {
+	SingleReads  stats.Counter
+	SingleWrites stats.Counter
+	BlockReads   stats.Counter
+	BlockWrites  stats.Counter
+	Locks        stats.Counter
+	Unlocks      stats.Counter
+	LockWaits    stats.Counter // lock requests that had to queue
+	BusyCycles   stats.Counter
+	ReqQPeak     int
+	OutQPeak     int
+}
+
+type state int
+
+const (
+	stIdle    state = iota
+	stBusy          // performing a memory access; done at busyUntil
+	stCollect       // waiting for write data flits
+)
+
+type lockState struct {
+	owner   int
+	waiters []int
+}
+
+// Unit is the MPMMU node. It implements noc.LocalPort (TryPull/Deliver)
+// and sim.Component (Step in sim.PhaseNode).
+type Unit struct {
+	cfg     Config
+	coordOf func(node int) (x, y int)
+	ddr     *memory.DDR
+	cache   *cache.Cache
+
+	reqQ  *queue.FIFO[flit.Flit]
+	dataQ *queue.FIFO[flit.Flit]
+	outQ  *queue.FIFO[flit.Flit]
+
+	st        state
+	busyUntil int64
+	cur       flit.Flit // request being served
+	curWords  int       // data words expected (writes)
+	lineBuf   [4]uint32
+	gotMask   uint8
+	gotCount  int
+	afterBusy func(now int64)
+
+	locks     map[uint32]*lockState
+	nextPktID uint64
+
+	Stats Stats
+}
+
+// New builds an MPMMU over the given DDR. coordOf maps node ids to torus
+// coordinates for reply addressing.
+func New(cfg Config, ddr *memory.DDR, coordOf func(int) (int, int)) (*Unit, error) {
+	c, err := cache.New(cache.KB(cfg.CacheKB, cache.WriteBack))
+	if err != nil {
+		return nil, fmt.Errorf("mpmmu: %w", err)
+	}
+	if cfg.NumCores <= 0 {
+		return nil, fmt.Errorf("mpmmu: need at least one core")
+	}
+	return &Unit{
+		cfg:     cfg,
+		coordOf: coordOf,
+		ddr:     ddr,
+		cache:   c,
+		reqQ:    queue.NewFIFO[flit.Flit](cfg.NumCores),
+		dataQ:   queue.NewFIFO[flit.Flit](flit.MaxLogicalPacket),
+		outQ:    queue.NewFIFO[flit.Flit](0),
+		locks:   make(map[uint32]*lockState),
+	}, nil
+}
+
+// Cache exposes the local cache for statistics.
+func (u *Unit) Cache() *cache.Cache { return u.cache }
+
+// Name implements sim.Component.
+func (u *Unit) Name() string { return "mpmmu" }
+
+// Deliver implements noc.LocalPort: incoming flits are demultiplexed into
+// the Pif-Request/Control queue (request tokens) and the Pif-Data queue
+// (granted write data), as in the paper.
+func (u *Unit) Deliver(f flit.Flit, now int64) {
+	switch f.Sub {
+	case flit.SubAddr:
+		if !u.reqQ.Push(f) {
+			// Each core has at most one outstanding request, so the
+			// request queue (depth = number of cores) can never overflow.
+			panic("mpmmu: request queue overflow")
+		}
+		if u.reqQ.Len() > u.Stats.ReqQPeak {
+			u.Stats.ReqQPeak = u.reqQ.Len()
+		}
+	case flit.SubData:
+		if !u.dataQ.Push(f) {
+			// Data only arrives after a grant; the protocol bounds it to
+			// one line.
+			panic("mpmmu: data queue overflow")
+		}
+	default:
+		panic(fmt.Sprintf("mpmmu: unexpected flit %v", f))
+	}
+}
+
+// TryPull implements noc.LocalPort: the switch drains the outgoing FIFO at
+// one flit per cycle.
+func (u *Unit) TryPull() (flit.Flit, bool) {
+	return u.outQ.Pop()
+}
+
+// Step implements sim.Component.
+func (u *Unit) Step(now int64) {
+	switch u.st {
+	case stBusy:
+		u.Stats.BusyCycles.Inc()
+		if now >= u.busyUntil {
+			fn := u.afterBusy
+			u.afterBusy = nil
+			u.st = stIdle
+			fn(now)
+		}
+	case stCollect:
+		u.collectData(now)
+	case stIdle:
+		u.startNext(now)
+	}
+}
+
+func (u *Unit) startNext(now int64) {
+	req, ok := u.reqQ.Pop()
+	if !ok {
+		return
+	}
+	u.cur = req
+	switch req.Type {
+	case flit.SingleRead:
+		u.Stats.SingleReads.Inc()
+		u.startRead(now, req.Data, 1)
+	case flit.BlockRead:
+		u.Stats.BlockReads.Inc()
+		u.startRead(now, cache.LineAddr(req.Data), 4)
+	case flit.SingleWrite:
+		u.Stats.SingleWrites.Inc()
+		u.startWrite(now, 1)
+	case flit.BlockWrite:
+		u.Stats.BlockWrites.Inc()
+		u.startWrite(now, 4)
+	case flit.Lock:
+		u.Stats.Locks.Inc()
+		u.handleLock(req)
+	case flit.Unlock:
+		u.Stats.Unlocks.Inc()
+		u.handleUnlock(req)
+	default:
+		panic(fmt.Sprintf("mpmmu: unexpected request %v", req))
+	}
+}
+
+// startRead performs the access and, after the access latency, pushes the
+// reply data into the outgoing FIFO.
+func (u *Unit) startRead(now int64, addr uint32, words int) {
+	data, lat := u.readWords(addr, words)
+	dst := int(u.cur.Src)
+	u.becomeBusy(now, lat, func(int64) {
+		code, _ := flit.EncodeBurst(flit.RoundUpBurst(words))
+		if words == 1 {
+			code = 0
+		}
+		for i := 0; i < words; i++ {
+			u.pushOut(dst, u.cur.Type, flit.SubData, uint8(i), code, data[i], now+lat)
+		}
+	})
+}
+
+// startWrite grants the transaction and waits for the data flits.
+func (u *Unit) startWrite(now int64, words int) {
+	u.curWords = words
+	u.gotMask, u.gotCount = 0, 0
+	u.pushOut(int(u.cur.Src), u.cur.Type, flit.SubAck, 0, 0, 0, now)
+	u.st = stCollect
+}
+
+func (u *Unit) collectData(now int64) {
+	for {
+		f, ok := u.dataQ.Pop()
+		if !ok {
+			break
+		}
+		if int(f.Src) != int(u.cur.Src) {
+			panic(fmt.Sprintf("mpmmu: data from node %d during write by node %d", f.Src, u.cur.Src))
+		}
+		if int(f.Seq) >= u.curWords || u.gotMask&(1<<f.Seq) != 0 {
+			panic(fmt.Sprintf("mpmmu: bad write data seq %d", f.Seq))
+		}
+		u.gotMask |= 1 << f.Seq
+		u.lineBuf[f.Seq] = f.Data
+		u.gotCount++
+	}
+	if u.gotCount < u.curWords {
+		return
+	}
+	addr := u.cur.Data
+	words := u.curWords
+	var lat int64
+	if words == 4 {
+		lat = u.writeLine(cache.LineAddr(addr), u.lineBuf[:])
+	} else {
+		lat = u.writeWord(addr, u.lineBuf[0])
+	}
+	dst := int(u.cur.Src)
+	u.becomeBusy(now, lat, func(int64) {
+		u.pushOut(dst, u.cur.Type, flit.SubAck, 0, 0, 0, now+lat)
+	})
+}
+
+func (u *Unit) becomeBusy(now, lat int64, fn func(now int64)) {
+	if lat <= 0 {
+		lat = 1
+	}
+	u.busyUntil = now + lat
+	u.afterBusy = fn
+	u.st = stBusy
+}
+
+func (u *Unit) handleLock(req flit.Flit) {
+	addr := req.Data
+	ls := u.locks[addr]
+	if ls == nil {
+		u.locks[addr] = &lockState{owner: int(req.Src)}
+		u.pushOut(int(req.Src), flit.Lock, flit.SubAck, 0, 0, addr, 0)
+		return
+	}
+	// All lock/unlock requests are stored in the Pif-Request/Control
+	// queue; a busy lock queues the requester until the unlock arrives.
+	u.Stats.LockWaits.Inc()
+	ls.waiters = append(ls.waiters, int(req.Src))
+}
+
+func (u *Unit) handleUnlock(req flit.Flit) {
+	addr := req.Data
+	ls := u.locks[addr]
+	if ls == nil || ls.owner != int(req.Src) {
+		panic(fmt.Sprintf("mpmmu: node %d unlocking %#x it does not own", req.Src, addr))
+	}
+	u.pushOut(int(req.Src), flit.Unlock, flit.SubAck, 0, 0, addr, 0)
+	if len(ls.waiters) == 0 {
+		delete(u.locks, addr)
+		return
+	}
+	next := ls.waiters[0]
+	ls.waiters = ls.waiters[1:]
+	ls.owner = next
+	u.pushOut(next, flit.Lock, flit.SubAck, 0, 0, addr, 0)
+}
+
+// LockedWords returns the number of currently held locks (tests).
+func (u *Unit) LockedWords() int { return len(u.locks) }
+
+func (u *Unit) pushOut(dstNode int, t flit.Type, sub flit.SubType, seq, burst uint8, data uint32, now int64) {
+	x, y := u.coordOf(dstNode)
+	u.nextPktID++
+	f := flit.Flit{
+		DstX: uint8(x), DstY: uint8(y),
+		Type: t, Sub: sub, Seq: seq, Burst: burst,
+		Src:  uint8(u.cfg.NodeID),
+		Data: data,
+	}
+	f.Meta.InjectCycle = now
+	f.Meta.PacketID = uint64(u.cfg.NodeID)<<48 | 2<<40 | u.nextPktID
+	u.outQ.Push(f)
+	if u.outQ.Len() > u.Stats.OutQPeak {
+		u.Stats.OutQPeak = u.outQ.Len()
+	}
+}
+
+// readWords reads n 32-bit words at addr through the local cache and
+// returns the data plus the access latency in cycles.
+func (u *Unit) readWords(addr uint32, n int) ([]uint32, int64) {
+	lat := u.touchLine(addr)
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		a := addr + uint32(4*i)
+		if cache.LineAddr(a) != cache.LineAddr(addr) {
+			lat += u.touchLine(a)
+		}
+		out[i] = u.cache.ReadWord(a)
+	}
+	return out, lat
+}
+
+// writeWord writes one word through the local cache (write-allocate).
+func (u *Unit) writeWord(addr uint32, v uint32) int64 {
+	lat := u.touchLine(addr)
+	u.cache.WriteWord(addr, v)
+	return lat
+}
+
+// writeLine writes a full line through the local cache.
+func (u *Unit) writeLine(addr uint32, words []uint32) int64 {
+	lat := u.touchLine(addr)
+	b := make([]byte, cache.LineBytes)
+	for i, w := range words[:4] {
+		binary.LittleEndian.PutUint32(b[4*i:], w)
+	}
+	u.cache.Write(addr, b)
+	return lat
+}
+
+// touchLine makes the line containing addr resident and returns the
+// latency of doing so (hit cost, or miss cost including victim write-back
+// and the DDR access).
+func (u *Unit) touchLine(addr uint32) int64 {
+	if u.cache.Lookup(addr) {
+		return u.cfg.HitCycles
+	}
+	lat := u.cfg.HitCycles
+	line := cache.LineAddr(addr)
+	if v := u.cache.VictimFor(line); v.NeedsWriteback {
+		u.ddr.Write(v.Addr, v.Data)
+		lat += u.ddr.Latency.Cost(cache.LineBytes / 4)
+	}
+	u.cache.Fill(line, u.ddr.Read(line, cache.LineBytes))
+	lat += u.ddr.Latency.Cost(cache.LineBytes / 4)
+	return lat
+}
+
+// FlushCache writes all dirty lines of the local cache back to DDR. Used
+// at the end of a run so that functional results can be checked in DDR.
+func (u *Unit) FlushCache() {
+	for _, addr := range u.cache.DirtyLines() {
+		data, ok := u.cache.FlushLine(addr)
+		if ok {
+			u.ddr.Write(addr, data)
+		}
+	}
+}

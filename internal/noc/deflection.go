@@ -1,0 +1,206 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DeflSwitch is a bufferless deflection-routed ("hot potato") switch. Every
+// cycle it routes each incoming flit to some output port, preferring
+// productive ports with oldest-flit-first priority and deflecting the rest;
+// it never stores more than the flits that arrived this cycle and never
+// exerts backpressure on its neighbours, which are the minimal-storage and
+// no-flow-control properties the paper argues for.
+//
+// At most one flit per cycle is ejected to the local node; a second flit
+// addressed to this node is deflected and will come back. Injection from
+// the local node happens only when an output port is left free after all
+// incoming flits are placed.
+type DeflSwitch struct {
+	id    int
+	x, y  int
+	topo  Topology
+	in    [NumPorts]*sim.Reg[flit.Flit]
+	out   [NumPorts]*sim.Reg[flit.Flit]
+	local LocalPort
+	net   *Network
+
+	// scratch buffers reused across cycles to avoid allocation.
+	pool  []routedFlit
+	ports []Port
+
+	Stats SwitchStats
+}
+
+// SwitchStats counts per-switch routing events.
+type SwitchStats struct {
+	Routed      stats.Counter // flits forwarded to an output port
+	Productive  stats.Counter // flits that took a productive port
+	Deflected   stats.Counter // flits that took an unproductive port
+	Ejected     stats.Counter // flits delivered to the local node
+	EjectMissed stats.Counter // flits at destination deflected because the eject port was busy
+	Injected    stats.Counter // flits accepted from the local node
+}
+
+type routedFlit struct {
+	f      flit.Flit
+	inPort int // arrival port, used as deterministic tie-break
+}
+
+// Name implements sim.Component.
+func (s *DeflSwitch) Name() string { return fmt.Sprintf("sw(%d,%d)", s.x, s.y) }
+
+// ID returns the switch's node id.
+func (s *DeflSwitch) ID() int { return s.id }
+
+// Step implements sim.Component; it runs in sim.PhaseSwitch.
+func (s *DeflSwitch) Step(now int64) {
+	pool := s.pool[:0]
+	for p := 0; p < int(NumPorts); p++ {
+		if f, ok := s.in[p].Get(); ok {
+			pool = append(pool, routedFlit{f: f, inPort: p})
+		}
+	}
+
+	// Ejection: pick the oldest flit addressed to this node.
+	ejectIdx := -1
+	for i := range pool {
+		if int(pool[i].f.DstX) != s.x || int(pool[i].f.DstY) != s.y {
+			continue
+		}
+		if ejectIdx < 0 || older(pool[i], pool[ejectIdx]) {
+			ejectIdx = i
+		}
+	}
+	if ejectIdx >= 0 {
+		f := pool[ejectIdx].f
+		s.Stats.Ejected.Inc()
+		s.net.noteDelivered(f, now)
+		s.local.Deliver(f, now)
+		pool = append(pool[:ejectIdx], pool[ejectIdx+1:]...)
+	}
+
+	// Route the remaining flits, oldest first, through productive ports.
+	// Insertion sort: the pool holds at most four flits and this runs
+	// every cycle, so reflection-based sorting is too expensive.
+	for i := 1; i < len(pool); i++ {
+		for j := i; j > 0 && older(pool[j], pool[j-1]); j-- {
+			pool[j], pool[j-1] = pool[j-1], pool[j]
+		}
+	}
+	var taken [NumPorts]bool
+	var assigned [NumPorts]flit.Flit
+	var assignedOK [NumPorts]bool
+	place := func(f flit.Flit, p Port, productive bool) {
+		f.Meta.Hops++
+		if productive {
+			s.Stats.Productive.Inc()
+		} else {
+			f.Meta.Deflections++
+			s.Stats.Deflected.Inc()
+		}
+		taken[p] = true
+		assigned[p], assignedOK[p] = f, true
+		s.Stats.Routed.Inc()
+	}
+
+	deflect := pool[:0] // flits that did not get a productive port
+	for _, rf := range pool {
+		atDst := int(rf.f.DstX) == s.x && int(rf.f.DstY) == s.y
+		if atDst {
+			// Lost the ejection port this cycle; must keep moving.
+			s.Stats.EjectMissed.Inc()
+			deflect = append(deflect, rf)
+			continue
+		}
+		s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(rf.f.DstX), int(rf.f.DstY))
+		placed := false
+		for _, p := range s.ports {
+			if !taken[p] {
+				place(rf.f, p, true)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			deflect = append(deflect, rf)
+		}
+	}
+	for _, rf := range deflect {
+		placed := false
+		for p := Port(0); p < NumPorts; p++ {
+			if !taken[p] {
+				place(rf.f, p, false)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Cannot happen: at most 4 flits compete for 4 ports.
+			panic("noc: deflection switch dropped a flit")
+		}
+	}
+
+	// Injection: only when an output slot is left over.
+	free := false
+	for p := Port(0); p < NumPorts; p++ {
+		if !taken[p] {
+			free = true
+			break
+		}
+	}
+	if free {
+		if f, ok := s.local.TryPull(); ok {
+			s.Stats.Injected.Inc()
+			s.net.noteInjected()
+			// Prefer a free productive port; fall back to any free port.
+			s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(f.DstX), int(f.DstY))
+			placed := false
+			for _, p := range s.ports {
+				if !taken[p] {
+					place(f, p, true)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				for p := Port(0); p < NumPorts; p++ {
+					if !taken[p] {
+						place(f, p, false)
+						placed = true
+						break
+					}
+				}
+			}
+			if !placed {
+				panic("noc: injected with no free port")
+			}
+		}
+	}
+
+	for p := Port(0); p < NumPorts; p++ {
+		if assignedOK[p] {
+			s.out[p].Set(assigned[p])
+		}
+	}
+	s.pool = pool[:0]
+}
+
+// older orders flits for arbitration: oldest injection cycle first, then
+// packet id, then sequence number, then arrival port. The ordering is total
+// and deterministic.
+func older(a, b routedFlit) bool {
+	if a.f.Meta.InjectCycle != b.f.Meta.InjectCycle {
+		return a.f.Meta.InjectCycle < b.f.Meta.InjectCycle
+	}
+	if a.f.Meta.PacketID != b.f.Meta.PacketID {
+		return a.f.Meta.PacketID < b.f.Meta.PacketID
+	}
+	if a.f.Seq != b.f.Seq {
+		return a.f.Seq < b.f.Seq
+	}
+	return a.inPort < b.inPort
+}

@@ -1,0 +1,87 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLatencyTailUnderSaturation reproduces the paper's §II-A observation
+// about deflection routing: "sporadic cases of single flits delivered with
+// high latency (larger than average) that did not significantly hamper
+// execution times" — a heavy-tailed latency distribution but no livelock.
+func TestLatencyTailUnderSaturation(t *testing.T) {
+	topo, _ := NewTopology(4, 4)
+	e := sim.NewEngine()
+	n := NewNetwork(e, topo)
+	nodes := make([]*TrafficNode, topo.NumNodes())
+	for i := range nodes {
+		nodes[i] = NewTrafficNode(i, topo, TrafficConfig{Pattern: Hotspot, HotspotNode: 0, Rate: 0.8}, 21)
+		n.Attach(i, nodes[i])
+		e.Register(sim.PhaseNode, nodes[i])
+	}
+	e.Run(5000)
+	mean := n.Stats.Latency.Mean()
+	max := n.Stats.Latency.Max()
+	if n.Stats.Delivered.Value() < 1000 {
+		t.Fatalf("only %d flits delivered under saturation", n.Stats.Delivered.Value())
+	}
+	// The tail exists (deflections delay some flits well beyond average)...
+	if max < 3*mean {
+		t.Logf("note: latency tail modest (mean %.1f, max %.0f)", mean, max)
+	}
+	// ...but is bounded: no flit livelocks anywhere near the run length.
+	if max > 2500 {
+		t.Errorf("flit latency %v suggests livelock (mean %.1f)", max, mean)
+	}
+	t.Logf("hotspot saturation: delivered=%d mean=%.1f max=%.0f deflections=%d",
+		n.Stats.Delivered.Value(), mean, max, n.TotalDeflections())
+}
+
+// TestOldestFirstPreventsStarvation checks the arbitration invariant that
+// makes the above work: under sustained cross-traffic, a single flit
+// crossing the loaded region still gets through quickly because age wins
+// arbitration.
+func TestOldestFirstPreventsStarvation(t *testing.T) {
+	topo, _ := NewTopology(4, 4)
+	e := sim.NewEngine()
+	n := NewNetwork(e, topo)
+	// Saturating background traffic among nodes 1..15.
+	for i := 1; i < topo.NumNodes(); i++ {
+		tn := NewTrafficNode(i, topo, TrafficConfig{Pattern: Uniform, Rate: 1.0}, 31)
+		n.Attach(i, tn)
+		e.Register(sim.PhaseNode, tn)
+	}
+	// A probe source at node 0 injecting one flit every 100 cycles to the
+	// far corner.
+	probe := &collector{}
+	n.Attach(0, probe)
+	far := topo.ID(2, 2)
+	fx, fy := topo.Coord(far)
+	e.Register(sim.PhaseNode, &sim.FuncComponent{ComponentName: "probe", Fn: func(now int64) {
+		if now%100 == 0 && now < 3000 {
+			f := mkFlit(topo, 0, far, uint64(now))
+			f.DstX, f.DstY = uint8(fx), uint8(fy)
+			f.Meta.InjectCycle = now
+			probe.out = append(probe.out, f)
+		}
+	}})
+	// The far corner needs a sink that counts.
+	sink := &collector{}
+	n.Attach(far, sink)
+	e.Run(6000)
+	if len(sink.got) < 25 {
+		t.Fatalf("only %d of 30 probe flits delivered through saturated traffic", len(sink.got))
+	}
+	worst := int64(0)
+	for i, f := range sink.got {
+		lat := sink.when[i] - f.Meta.InjectCycle
+		if lat > worst {
+			worst = lat
+		}
+	}
+	if worst > 1500 {
+		t.Errorf("probe flit took %d cycles: starvation under load", worst)
+	}
+	t.Logf("worst probe latency through saturation: %d cycles", worst)
+}

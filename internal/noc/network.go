@@ -1,0 +1,93 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Network is a fully wired folded-torus NoC of deflection switches.
+type Network struct {
+	Topo     Topology
+	Switches []*DeflSwitch
+
+	// Stats aggregates network-wide traffic measurements.
+	Stats NetStats
+}
+
+// NetStats aggregates network-wide measurements.
+type NetStats struct {
+	Injected  stats.Counter
+	Delivered stats.Counter
+	Latency   stats.Running // inject-to-eject cycles
+	Hops      stats.Running
+	Deflects  stats.Running // deflections per delivered flit
+}
+
+// NewNetwork builds a w x h folded torus of deflection switches, wires all
+// links, registers everything with the engine (sim.PhaseSwitch), and
+// attaches a null port to every switch. Call Attach to connect real nodes.
+func NewNetwork(e *sim.Engine, topo Topology) *Network {
+	n := &Network{Topo: topo}
+	n.Switches = make([]*DeflSwitch, topo.NumNodes())
+	for id := range n.Switches {
+		x, y := topo.Coord(id)
+		n.Switches[id] = &DeflSwitch{id: id, x: x, y: y, topo: topo, local: &nullPort{}, net: n}
+	}
+	// Create one register per directed link, shared between the producing
+	// switch's out port and the consuming switch's in port.
+	for id, sw := range n.Switches {
+		for p := Port(0); p < NumPorts; p++ {
+			r := sim.NewReg[flit.Flit](e, fmt.Sprintf("link %d.%v", id, p))
+			sw.out[p] = r
+			nb := topo.Neighbor(id, p)
+			n.Switches[nb].in[p.Opposite()] = r
+		}
+	}
+	for _, sw := range n.Switches {
+		e.Register(sim.PhaseSwitch, sw)
+	}
+	return n
+}
+
+// Attach connects a node's local port to the switch with the given id.
+func (n *Network) Attach(id int, lp LocalPort) {
+	if lp == nil {
+		panic("noc: nil local port")
+	}
+	n.Switches[id].local = lp
+}
+
+// InFlight counts flits currently travelling on links. Injected ==
+// Delivered + InFlight is the conservation invariant checked by tests.
+func (n *Network) InFlight() int {
+	c := 0
+	for _, sw := range n.Switches {
+		for p := Port(0); p < NumPorts; p++ {
+			if sw.out[p].Valid() {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// TotalDeflections sums deflections over all switches.
+func (n *Network) TotalDeflections() int64 {
+	var c int64
+	for _, sw := range n.Switches {
+		c += sw.Stats.Deflected.Value()
+	}
+	return c
+}
+
+func (n *Network) noteInjected() { n.Stats.Injected.Inc() }
+
+func (n *Network) noteDelivered(f flit.Flit, now int64) {
+	n.Stats.Delivered.Inc()
+	n.Stats.Latency.Observe(float64(now - f.Meta.InjectCycle))
+	n.Stats.Hops.Observe(float64(f.Meta.Hops))
+	n.Stats.Deflects.Observe(float64(f.Meta.Deflections))
+}

@@ -1,0 +1,163 @@
+// Package noc implements the MEDEA network-on-chip: a two-dimensional
+// folded-torus topology with bufferless deflection-routed ("hot potato")
+// switches, plus a conventional buffered XY dimension-order router used as
+// an ablation baseline, and synthetic traffic generators for network-only
+// evaluation.
+package noc
+
+import "fmt"
+
+// Port identifies one of the four inter-switch directions.
+type Port int
+
+// The four torus directions. East/West move along X, North/South along Y.
+const (
+	East Port = iota
+	West
+	North
+	South
+	// NumPorts is the number of inter-switch ports per switch.
+	NumPorts
+)
+
+// String implements fmt.Stringer.
+func (p Port) String() string {
+	switch p {
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case North:
+		return "N"
+	case South:
+		return "S"
+	}
+	return fmt.Sprintf("port(%d)", int(p))
+}
+
+// Opposite returns the port on the neighbouring switch that a flit leaving
+// through p arrives on.
+func (p Port) Opposite() Port {
+	switch p {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	case South:
+		return North
+	}
+	panic("noc: invalid port")
+}
+
+// Topology describes a W x H folded torus. A folded torus is physically
+// laid out with interleaved nodes so all links have equal length; logically
+// it is a torus, so routing uses plain modular distances.
+type Topology struct {
+	W, H int
+}
+
+// NewTopology validates and returns a torus topology.
+func NewTopology(w, h int) (Topology, error) {
+	if w < 2 || h < 2 {
+		return Topology{}, fmt.Errorf("noc: torus must be at least 2x2, got %dx%d", w, h)
+	}
+	return Topology{W: w, H: h}, nil
+}
+
+// NumNodes returns the number of switches (and attachable nodes).
+func (t Topology) NumNodes() int { return t.W * t.H }
+
+// Coord maps a node id to its (x, y) coordinate.
+func (t Topology) Coord(id int) (x, y int) {
+	if id < 0 || id >= t.NumNodes() {
+		panic(fmt.Sprintf("noc: node id %d out of range", id))
+	}
+	return id % t.W, id / t.W
+}
+
+// ID maps a coordinate to a node id, wrapping around the torus.
+func (t Topology) ID(x, y int) int {
+	x = ((x % t.W) + t.W) % t.W
+	y = ((y % t.H) + t.H) % t.H
+	return y*t.W + x
+}
+
+// Neighbor returns the node id one hop from id through port p.
+func (t Topology) Neighbor(id int, p Port) int {
+	x, y := t.Coord(id)
+	switch p {
+	case East:
+		return t.ID(x+1, y)
+	case West:
+		return t.ID(x-1, y)
+	case North:
+		return t.ID(x, y+1)
+	case South:
+		return t.ID(x, y-1)
+	}
+	panic("noc: invalid port")
+}
+
+// Dist returns the minimal hop count between two nodes on the torus.
+func (t Topology) Dist(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	return axisDist(ax, bx, t.W) + axisDist(ay, by, t.H)
+}
+
+func axisDist(a, b, n int) int {
+	d := ((b-a)%n + n) % n
+	if n-d < d {
+		return n - d
+	}
+	return d
+}
+
+// ProductivePorts appends to dst the ports that strictly reduce the torus
+// distance from (x, y) to (dstX, dstY) and returns the extended slice.
+// When the destination is equidistant in both directions of an axis (even
+// torus, exactly half-way) both directions are productive.
+func (t Topology) ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port {
+	if de := ((dstX-x)%t.W + t.W) % t.W; de != 0 {
+		dw := t.W - de
+		if de <= dw {
+			dst = append(dst, East)
+		}
+		if dw <= de {
+			dst = append(dst, West)
+		}
+	}
+	if dn := ((dstY-y)%t.H + t.H) % t.H; dn != 0 {
+		ds := t.H - dn
+		if dn <= ds {
+			dst = append(dst, North)
+		}
+		if ds <= dn {
+			dst = append(dst, South)
+		}
+	}
+	return dst
+}
+
+// XYFirstPort returns the dimension-order (X then Y) routing port from
+// (x, y) towards (dstX, dstY), choosing the shorter wrap direction, and
+// ok=false when already at the destination.
+func (t Topology) XYFirstPort(x, y, dstX, dstY int) (Port, bool) {
+	if x != dstX {
+		de := ((dstX-x)%t.W + t.W) % t.W
+		if de <= t.W-de {
+			return East, true
+		}
+		return West, true
+	}
+	if y != dstY {
+		dn := ((dstY-y)%t.H + t.H) % t.H
+		if dn <= t.H-dn {
+			return North, true
+		}
+		return South, true
+	}
+	return 0, false
+}

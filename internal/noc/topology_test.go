@@ -1,0 +1,155 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	topo, err := NewTopology(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 16 {
+		t.Fatalf("NumNodes = %d", topo.NumNodes())
+	}
+	for id := 0; id < 16; id++ {
+		x, y := topo.Coord(id)
+		if topo.ID(x, y) != id {
+			t.Errorf("Coord/ID round trip failed for %d", id)
+		}
+	}
+}
+
+func TestTopologyRejectsTiny(t *testing.T) {
+	if _, err := NewTopology(1, 4); err == nil {
+		t.Error("1-wide torus should be rejected")
+	}
+	if _, err := NewTopology(4, 0); err == nil {
+		t.Error("0-high torus should be rejected")
+	}
+}
+
+func TestIDWrapsAround(t *testing.T) {
+	topo, _ := NewTopology(4, 4)
+	if topo.ID(-1, 0) != topo.ID(3, 0) {
+		t.Error("negative x should wrap")
+	}
+	if topo.ID(4, 5) != topo.ID(0, 1) {
+		t.Error("overflow coordinates should wrap")
+	}
+}
+
+func TestNeighborsAreSymmetric(t *testing.T) {
+	topo, _ := NewTopology(4, 3)
+	for id := 0; id < topo.NumNodes(); id++ {
+		for p := Port(0); p < NumPorts; p++ {
+			nb := topo.Neighbor(id, p)
+			back := topo.Neighbor(nb, p.Opposite())
+			if back != id {
+				t.Errorf("node %d port %v: neighbor %d does not link back (got %d)", id, p, nb, back)
+			}
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	topo, _ := NewTopology(4, 4)
+	cases := []struct {
+		a, b, want int
+	}{
+		{topo.ID(0, 0), topo.ID(0, 0), 0},
+		{topo.ID(0, 0), topo.ID(1, 0), 1},
+		{topo.ID(0, 0), topo.ID(3, 0), 1}, // wraparound
+		{topo.ID(0, 0), topo.ID(2, 2), 4}, // max distance on a 4x4 torus
+		{topo.ID(1, 1), topo.ID(3, 3), 4},
+	}
+	for _, c := range cases {
+		if got := topo.Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestDistSymmetricQuick property-tests distance symmetry and the triangle
+// inequality over random node pairs.
+func TestDistSymmetricQuick(t *testing.T) {
+	topo, _ := NewTopology(5, 3)
+	n := topo.NumNodes()
+	fn := func(a, b, c uint8) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		if topo.Dist(x, y) != topo.Dist(y, x) {
+			return false
+		}
+		return topo.Dist(x, z) <= topo.Dist(x, y)+topo.Dist(y, z)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProductivePortsReduceDistance verifies that every productive port
+// strictly reduces torus distance and that a non-empty set exists whenever
+// source != destination.
+func TestProductivePortsReduceDistance(t *testing.T) {
+	topo, _ := NewTopology(4, 4)
+	for src := 0; src < topo.NumNodes(); src++ {
+		for dst := 0; dst < topo.NumNodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			sx, sy := topo.Coord(src)
+			dx, dy := topo.Coord(dst)
+			ports := topo.ProductivePorts(nil, sx, sy, dx, dy)
+			if len(ports) == 0 {
+				t.Fatalf("no productive port from %d to %d", src, dst)
+			}
+			d := topo.Dist(src, dst)
+			for _, p := range ports {
+				nb := topo.Neighbor(src, p)
+				if topo.Dist(nb, dst) != d-1 {
+					t.Errorf("port %v from %d to %d does not reduce distance", p, src, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestXYFirstPortRoute walks XY routes and checks they terminate at the
+// destination within the torus distance.
+func TestXYFirstPortRoute(t *testing.T) {
+	topo, _ := NewTopology(4, 4)
+	for src := 0; src < topo.NumNodes(); src++ {
+		for dst := 0; dst < topo.NumNodes(); dst++ {
+			cur := src
+			hops := 0
+			for cur != dst {
+				x, y := topo.Coord(cur)
+				dx, dy := topo.Coord(dst)
+				p, ok := topo.XYFirstPort(x, y, dx, dy)
+				if !ok {
+					t.Fatalf("XYFirstPort said arrived but %d != %d", cur, dst)
+				}
+				cur = topo.Neighbor(cur, p)
+				hops++
+				if hops > 10 {
+					t.Fatalf("XY route from %d to %d does not terminate", src, dst)
+				}
+			}
+			if hops != topo.Dist(src, dst) {
+				t.Errorf("XY route %d->%d took %d hops, min %d", src, dst, hops, topo.Dist(src, dst))
+			}
+		}
+	}
+}
+
+func TestPortStringsAndOpposite(t *testing.T) {
+	for p := Port(0); p < NumPorts; p++ {
+		if p.String() == "" {
+			t.Error("empty port name")
+		}
+		if p.Opposite().Opposite() != p {
+			t.Errorf("Opposite not involutive for %v", p)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/vcd"
+)
+
+// VCDTracer samples per-switch link occupancy and ejection/injection
+// activity into a VCD waveform, one signal group per switch, so NoC
+// congestion can be inspected in a standard waveform viewer. Register it
+// in sim.PhaseNode: it then observes the values committed at the end of
+// the previous cycle.
+type VCDTracer struct {
+	net  *Network
+	w    *vcd.Writer
+	occ  []*vcd.Signal // valid output links per switch (0-4)
+	ejc  []*vcd.Signal // cumulative ejections (16-bit window)
+	defl *vcd.Signal   // network-wide cumulative deflections (truncated)
+}
+
+// NewVCDTracer creates a tracer for net writing to out. It must be
+// created after the network and registered by the caller.
+func NewVCDTracer(net *Network, out io.Writer) (*VCDTracer, error) {
+	t := &VCDTracer{net: net, w: vcd.NewWriter(out)}
+	for _, sw := range net.Switches {
+		x, y := net.Topo.Coord(sw.ID())
+		t.occ = append(t.occ, t.w.Declare(fmt.Sprintf("sw_%d_%d_links", x, y), 3))
+		t.ejc = append(t.ejc, t.w.Declare(fmt.Sprintf("sw_%d_%d_ejected", x, y), 16))
+	}
+	t.defl = t.w.Declare("net_deflections", 32)
+	if err := t.w.Start("medea_noc"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Name implements sim.Component.
+func (t *VCDTracer) Name() string { return "vcd-tracer" }
+
+// Step implements sim.Component.
+func (t *VCDTracer) Step(now int64) {
+	for i, sw := range t.net.Switches {
+		occ := uint64(0)
+		for p := Port(0); p < NumPorts; p++ {
+			if sw.out[p].Valid() {
+				occ++
+			}
+		}
+		t.emit(now, t.occ[i], occ)
+		t.emit(now, t.ejc[i], uint64(sw.Stats.Ejected.Value())&0xFFFF)
+	}
+	t.emit(now, t.defl, uint64(t.net.TotalDeflections())&0xFFFFFFFF)
+}
+
+func (t *VCDTracer) emit(now int64, s *vcd.Signal, v uint64) {
+	if err := t.w.Emit(now, s, v); err != nil {
+		panic(fmt.Sprintf("noc: vcd trace: %v", err))
+	}
+}
+
+// Attach is a convenience that registers the tracer with the engine.
+func (t *VCDTracer) Attach(e *sim.Engine) {
+	e.Register(sim.PhaseNode, t)
+}

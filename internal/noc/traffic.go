@@ -1,0 +1,148 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Pattern selects a synthetic traffic destination distribution.
+type Pattern int
+
+// Synthetic traffic patterns used to characterize the bare network.
+const (
+	// Uniform sends each flit to a uniformly random other node.
+	Uniform Pattern = iota
+	// Transpose sends from (x, y) to (y, x); classic adversarial pattern
+	// for dimension-ordered routing.
+	Transpose
+	// Hotspot sends all traffic to one node, modelling the MPMMU's
+	// position as the single shared-memory target.
+	Hotspot
+	// Neighbor sends to the east neighbour, modelling nearest-neighbour
+	// halo exchange.
+	Neighbor
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Transpose:
+		return "transpose"
+	case Hotspot:
+		return "hotspot"
+	case Neighbor:
+		return "neighbor"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// TrafficConfig parameterizes a synthetic traffic node.
+type TrafficConfig struct {
+	Pattern Pattern
+	// Rate is the per-node injection probability per cycle (offered load
+	// in flits/node/cycle).
+	Rate float64
+	// HotspotNode is the destination for the Hotspot pattern.
+	HotspotNode int
+	// QueueCap bounds the source queue; when full the generator throttles
+	// (counts a stall instead of queueing), like a real injection FIFO.
+	QueueCap int
+}
+
+// TrafficNode is a synthetic traffic source/sink implementing LocalPort.
+// It is also a sim.Component (register it in sim.PhaseNode).
+type TrafficNode struct {
+	id    int
+	topo  Topology
+	cfg   TrafficConfig
+	rng   *sim.RNG
+	outQ  []flit.Flit
+	now   int64
+	pktID uint64
+
+	Sent      stats.Counter
+	Recv      stats.Counter
+	Throttled stats.Counter
+	QueueLat  stats.Running // cycles spent in the source queue
+}
+
+// NewTrafficNode creates a traffic node for switch id.
+func NewTrafficNode(id int, topo Topology, cfg TrafficConfig, seed int64) *TrafficNode {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	return &TrafficNode{id: id, topo: topo, cfg: cfg, rng: sim.NewRNG(seed ^ int64(id)*0x9E37)}
+}
+
+// Name implements sim.Component.
+func (t *TrafficNode) Name() string { return fmt.Sprintf("traffic(%d)", t.id) }
+
+// Step implements sim.Component.
+func (t *TrafficNode) Step(now int64) {
+	t.now = now
+	if !t.rng.Bernoulli(t.cfg.Rate) {
+		return
+	}
+	if len(t.outQ) >= t.cfg.QueueCap {
+		t.Throttled.Inc()
+		return
+	}
+	dst := t.destination()
+	if dst == t.id {
+		return
+	}
+	dx, dy := t.topo.Coord(dst)
+	t.pktID++
+	f := flit.Flit{
+		DstX: uint8(dx), DstY: uint8(dy),
+		Type: flit.Message, Sub: flit.SubMsgData,
+		Src:  uint8(t.id & flit.MaxSrc),
+		Data: uint32(now),
+	}
+	f.Meta.InjectCycle = now
+	f.Meta.PacketID = uint64(t.id)<<40 | t.pktID
+	t.outQ = append(t.outQ, f)
+	t.Sent.Inc()
+}
+
+func (t *TrafficNode) destination() int {
+	switch t.cfg.Pattern {
+	case Uniform:
+		d := t.rng.Intn(t.topo.NumNodes() - 1)
+		if d >= t.id {
+			d++
+		}
+		return d
+	case Transpose:
+		x, y := t.topo.Coord(t.id)
+		return t.topo.ID(y%t.topo.W, x%t.topo.H)
+	case Hotspot:
+		return t.cfg.HotspotNode
+	case Neighbor:
+		return t.topo.Neighbor(t.id, East)
+	}
+	panic("noc: unknown traffic pattern")
+}
+
+// TryPull implements LocalPort.
+func (t *TrafficNode) TryPull() (flit.Flit, bool) {
+	if len(t.outQ) == 0 {
+		return flit.Flit{}, false
+	}
+	f := t.outQ[0]
+	copy(t.outQ, t.outQ[1:])
+	t.outQ = t.outQ[:len(t.outQ)-1]
+	t.QueueLat.Observe(float64(t.now - f.Meta.InjectCycle))
+	return f, true
+}
+
+// Deliver implements LocalPort.
+func (t *TrafficNode) Deliver(flit.Flit, int64) { t.Recv.Inc() }
+
+// Pending returns the current source-queue occupancy.
+func (t *TrafficNode) Pending() int { return len(t.outQ) }

@@ -1,0 +1,156 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// XYSwitch is a conventional input-queued switch with dimension-order
+// (X-then-Y) routing, used as the ablation baseline the paper argues
+// against: it needs per-input storage where the deflection switch needs
+// none. Input queues are unbounded and their peak occupancy is recorded, so
+// the storage cost of buffered routing can be compared directly with the
+// deflection switch's theoretical-minimum storage (see
+// BenchmarkDeflectionVsXY).
+type XYSwitch struct {
+	id    int
+	x, y  int
+	topo  Topology
+	in    [NumPorts]*sim.Reg[flit.Flit]
+	out   [NumPorts]*sim.Reg[flit.Flit]
+	local LocalPort
+	net   *XYNetwork
+
+	queues  [NumPorts + 1][]flit.Flit // +1: local injection queue
+	rrStart int
+
+	Stats XYStats
+}
+
+// XYStats counts per-switch events for the XY router.
+type XYStats struct {
+	Routed   stats.Counter
+	Ejected  stats.Counter
+	Injected stats.Counter
+	PeakQ    int // max occupancy observed over any input queue
+}
+
+// Name implements sim.Component.
+func (s *XYSwitch) Name() string { return fmt.Sprintf("xysw(%d,%d)", s.x, s.y) }
+
+// Step implements sim.Component; it runs in sim.PhaseSwitch.
+func (s *XYSwitch) Step(now int64) {
+	// Accept arrivals into input queues.
+	for p := 0; p < int(NumPorts); p++ {
+		if f, ok := s.in[p].Get(); ok {
+			s.queues[p] = append(s.queues[p], f)
+		}
+	}
+	// Accept one local injection per cycle.
+	if f, ok := s.local.TryPull(); ok {
+		s.Stats.Injected.Inc()
+		s.net.noteInjected()
+		s.queues[NumPorts] = append(s.queues[NumPorts], f)
+	}
+	for q := range s.queues {
+		if len(s.queues[q]) > s.Stats.PeakQ {
+			s.Stats.PeakQ = len(s.queues[q])
+		}
+	}
+
+	// Each output port (and the ejection port) forwards at most one flit
+	// per cycle. Round-robin over input queues for fairness; only the
+	// head of each queue competes (FIFO order per input preserves
+	// in-order delivery per path, the property wormhole/XY designs rely
+	// on).
+	var outTaken [NumPorts]bool
+	ejectTaken := false
+	nq := len(s.queues)
+	for i := 0; i < nq; i++ {
+		q := (s.rrStart + i) % nq
+		if len(s.queues[q]) == 0 {
+			continue
+		}
+		f := s.queues[q][0]
+		if int(f.DstX) == s.x && int(f.DstY) == s.y {
+			if ejectTaken {
+				continue
+			}
+			ejectTaken = true
+			s.Stats.Ejected.Inc()
+			s.net.noteDelivered(f, now)
+			s.local.Deliver(f, now)
+		} else {
+			p, ok := s.topo.XYFirstPort(s.x, s.y, int(f.DstX), int(f.DstY))
+			if !ok || outTaken[p] {
+				continue
+			}
+			outTaken[p] = true
+			f.Meta.Hops++
+			s.out[p].Set(f)
+			s.Stats.Routed.Inc()
+		}
+		s.queues[q] = s.queues[q][1:]
+	}
+	s.rrStart = (s.rrStart + 1) % nq
+}
+
+// XYNetwork is a fully wired torus of XY switches, mirroring Network.
+type XYNetwork struct {
+	Topo     Topology
+	Switches []*XYSwitch
+	Stats    NetStats
+}
+
+// NewXYNetwork builds a w x h torus of buffered XY switches.
+func NewXYNetwork(e *sim.Engine, topo Topology) *XYNetwork {
+	n := &XYNetwork{Topo: topo}
+	n.Switches = make([]*XYSwitch, topo.NumNodes())
+	for id := range n.Switches {
+		x, y := topo.Coord(id)
+		n.Switches[id] = &XYSwitch{id: id, x: x, y: y, topo: topo, local: &nullPort{}, net: n}
+	}
+	for id, sw := range n.Switches {
+		for p := Port(0); p < NumPorts; p++ {
+			r := sim.NewReg[flit.Flit](e, fmt.Sprintf("xylink %d.%v", id, p))
+			sw.out[p] = r
+			nb := topo.Neighbor(id, p)
+			n.Switches[nb].in[p.Opposite()] = r
+		}
+	}
+	for _, sw := range n.Switches {
+		e.Register(sim.PhaseSwitch, sw)
+	}
+	return n
+}
+
+// Attach connects a node's local port to the switch with the given id.
+func (n *XYNetwork) Attach(id int, lp LocalPort) {
+	if lp == nil {
+		panic("noc: nil local port")
+	}
+	n.Switches[id].local = lp
+}
+
+// PeakQueue returns the worst input-queue occupancy across all switches,
+// i.e. the minimum buffering a real implementation would have needed.
+func (n *XYNetwork) PeakQueue() int {
+	peak := 0
+	for _, sw := range n.Switches {
+		if sw.Stats.PeakQ > peak {
+			peak = sw.Stats.PeakQ
+		}
+	}
+	return peak
+}
+
+func (n *XYNetwork) noteInjected() { n.Stats.Injected.Inc() }
+
+func (n *XYNetwork) noteDelivered(f flit.Flit, now int64) {
+	n.Stats.Delivered.Inc()
+	n.Stats.Latency.Observe(float64(now - f.Meta.InjectCycle))
+	n.Stats.Hops.Observe(float64(f.Meta.Hops))
+}

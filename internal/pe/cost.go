@@ -1,0 +1,31 @@
+package pe
+
+// CostModel holds the operation latencies of the modelled core. The
+// floating-point costs are the paper's numbers for the Tensilica
+// double-precision emulation acceleration: adds/subtracts average 19
+// cycles; multiplies average 26 cycles on a configuration with the
+// "Multiply High" option (60 cycles without it).
+type CostModel struct {
+	IntOp       int64 // simple ALU operation / loop bookkeeping
+	FPAdd       int64 // double-precision add or subtract
+	FPMul       int64 // double-precision multiply
+	CacheHit    int64 // L1 hit (load or store)
+	RecvPerWord int64 // copying one received word out of the double buffer
+}
+
+// DefaultCost is the cost model used by all experiments.
+var DefaultCost = CostModel{
+	IntOp:       1,
+	FPAdd:       19,
+	FPMul:       26,
+	CacheHit:    1,
+	RecvPerWord: 1,
+}
+
+// MulHighOff returns the cost model for a core without the Multiply High
+// option (60-cycle multiplies), used by the ablation benchmarks.
+func MulHighOff() CostModel {
+	c := DefaultCost
+	c.FPMul = 60
+	return c
+}

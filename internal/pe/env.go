@@ -1,0 +1,137 @@
+package pe
+
+import (
+	"math"
+
+	"repro/internal/tie"
+)
+
+// Env is the API application programs use to run on a core. Every method
+// is blocking, mirroring the in-order core: the calling goroutine resumes
+// when the operation completes in simulated time.
+//
+// Loads and stores move real bytes through the simulated memory hierarchy,
+// so programs compute real results while accumulating accurate timing.
+type Env struct {
+	p *Proc
+}
+
+func (e *Env) issue(o op) result {
+	e.p.opCh <- o
+	return <-e.p.resCh
+}
+
+// NodeID returns the core's NoC node id.
+func (e *Env) NodeID() int { return e.p.ID }
+
+// Rank returns the core's dense application rank.
+func (e *Env) Rank() int { return e.p.Rank }
+
+// Now returns the simulation cycle at which the previous operation
+// completed.
+func (e *Env) Now() int64 { return e.p.lastCycle }
+
+// Cost returns the core's cost model, for programs that charge explicit
+// compute time.
+func (e *Env) Cost() CostModel { return e.p.Cost }
+
+// Compute occupies the core for the given number of cycles (minimum 1).
+func (e *Env) Compute(cycles int64) {
+	e.issue(op{kind: opCompute, cycles: cycles})
+}
+
+// ComputeFP occupies the core for the time of the given number of
+// double-precision adds and multiplies plus simple integer operations.
+func (e *Env) ComputeFP(adds, muls, intOps int) {
+	c := e.p.Cost
+	e.Compute(int64(adds)*c.FPAdd + int64(muls)*c.FPMul + int64(intOps)*c.IntOp)
+}
+
+// LoadWord loads a 32-bit word through the L1 cache.
+func (e *Env) LoadWord(addr uint32) uint32 {
+	return uint32(e.issue(op{kind: opLoad, addr: addr, size: 4}).value)
+}
+
+// StoreWord stores a 32-bit word through the L1 cache.
+func (e *Env) StoreWord(addr uint32, v uint32) {
+	e.issue(op{kind: opStore, addr: addr, size: 4, value: uint64(v)})
+}
+
+// LoadDouble loads an 8-byte IEEE-754 double through the L1 cache.
+// addr must be 8-aligned.
+func (e *Env) LoadDouble(addr uint32) float64 {
+	return math.Float64frombits(e.issue(op{kind: opLoad, addr: addr, size: 8}).value)
+}
+
+// StoreDouble stores an 8-byte IEEE-754 double through the L1 cache.
+func (e *Env) StoreDouble(addr uint32, v float64) {
+	e.issue(op{kind: opStore, addr: addr, size: 8, value: math.Float64bits(v)})
+}
+
+// LoadWordUncached bypasses the cache with a single-read transaction, the
+// access mode the paper recommends for frequently-updated shared data.
+func (e *Env) LoadWordUncached(addr uint32) uint32 {
+	return uint32(e.issue(op{kind: opLoadU, addr: addr, size: 4}).value)
+}
+
+// StoreWordUncached bypasses the cache with a single-write transaction.
+func (e *Env) StoreWordUncached(addr uint32, v uint32) {
+	e.issue(op{kind: opStoreU, addr: addr, size: 4, value: uint64(v)})
+}
+
+// LoadDoubleUncached loads an 8-byte double with two single-read
+// transactions.
+func (e *Env) LoadDoubleUncached(addr uint32) float64 {
+	return math.Float64frombits(e.issue(op{kind: opLoadU, addr: addr, size: 8}).value)
+}
+
+// StoreDoubleUncached stores an 8-byte double with two single-write
+// transactions.
+func (e *Env) StoreDoubleUncached(addr uint32, v float64) {
+	e.issue(op{kind: opStoreU, addr: addr, size: 8, value: math.Float64bits(v)})
+}
+
+// FlushLine writes the cache line containing addr back to system memory if
+// it is dirty (producer-side software coherency).
+func (e *Env) FlushLine(addr uint32) {
+	e.issue(op{kind: opFlush, addr: addr})
+}
+
+// InvalidateLine drops the cache line containing addr (the DII
+// instruction; consumer-side software coherency).
+func (e *Env) InvalidateLine(addr uint32) {
+	e.issue(op{kind: opInval, addr: addr})
+}
+
+// Lock acquires the MPMMU lock on the shared-memory word at addr,
+// blocking until granted.
+func (e *Env) Lock(addr uint32) {
+	e.issue(op{kind: opLock, addr: addr})
+}
+
+// Unlock releases the MPMMU lock on the shared-memory word at addr.
+func (e *Env) Unlock(addr uint32) {
+	e.issue(op{kind: opUnlock, addr: addr})
+}
+
+// Send transmits one logical packet (1..16 words) to the node dst over the
+// TIE message-passing port. It returns when the last flit has entered the
+// injection path (fire-and-forget, as in hardware).
+func (e *Env) Send(dst int, class tie.Class, words []uint32) {
+	w := make([]uint32, len(words))
+	copy(w, words)
+	e.issue(op{kind: opSend, dst: dst, class: class, words: w})
+}
+
+// Recv blocks until a logical packet of the given class from node src has
+// been assembled and returns it. The payload is padded to the burst
+// length; callers trim to their protocol's length.
+func (e *Env) Recv(src int, class tie.Class) tie.Packet {
+	return e.issue(op{kind: opRecv, src: src, class: class}).pkt
+}
+
+// RecvAny blocks until a logical packet of the given class from any node
+// is available (lowest node id first for determinism).
+func (e *Env) RecvAny(class tie.Class) tie.Packet {
+	return e.issue(op{kind: opRecvAny, class: class}).pkt
+}

@@ -1,0 +1,193 @@
+package pe
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/cache"
+)
+
+// memSeq is a micro-sequence implementing one architectural memory
+// operation: zero or more bridge transactions executed in order, then a
+// finishing action that updates the cache and produces the result plus the
+// final core-side latency (typically the L1 access cycle).
+type memSeq struct {
+	txns    []bridge.Txn
+	finish  func(results [][]uint32) (result, int64)
+	results [][]uint32
+}
+
+func (p *Proc) lockSeq(o op) memSeq {
+	kind := bridge.TxnLock
+	if o.kind == opUnlock {
+		kind = bridge.TxnUnlock
+	}
+	return memSeq{
+		txns: []bridge.Txn{{Kind: kind, Addr: o.addr}},
+	}
+}
+
+// memSeqFor plans the transactions for a load/store/flush/invalidate.
+// Planning happens when the operation starts; since the core is blocking
+// and in-order, cache state cannot change underneath the plan.
+func (p *Proc) memSeqFor(o op) memSeq {
+	switch o.kind {
+	case opFlush:
+		// Software cache flush: write the dirty line back to system
+		// memory so producer-side coherency holds (paper §II-E).
+		data, dirty := p.Cache.FlushLine(o.addr)
+		if !dirty {
+			return memSeq{}
+		}
+		return memSeq{txns: []bridge.Txn{{
+			Kind: bridge.TxnBlockWrite,
+			Addr: cache.LineAddr(o.addr),
+			Data: wordsOf(data),
+		}}}
+	case opInval:
+		// The DII instruction: drop the line so the next access fetches
+		// from system memory (consumer-side coherency).
+		p.Cache.InvalidateLine(o.addr)
+		return memSeq{}
+	case opLoadU:
+		return p.uncachedLoad(o)
+	case opStoreU:
+		return memSeq{txns: p.storeThroughTxns(o.addr, o.size, o.value)}
+	}
+	panic("pe: not a memory op")
+}
+
+// startCached dispatches a cached load/store. Hits complete without
+// building a transaction plan (the simulator's hottest path); misses fall
+// through to the micro-sequence machinery.
+func (p *Proc) startCached(o op, now int64) {
+	checkAlign(o.addr, o.size)
+	if p.Cache.Lookup(o.addr) {
+		if o.kind == opLoad {
+			p.stash = result{value: p.readCache(o.addr, o.size)}
+			p.becomeBusy(now, p.Cost.CacheHit)
+			return
+		}
+		// Store hit: update the line; write-through additionally sends
+		// the store to system memory and the core stalls for the
+		// protocol round trips (no store buffer, as in the paper's
+		// simple core).
+		p.writeCache(o.addr, o.size, o.value)
+		if p.Cache.Policy() == cache.WriteThrough {
+			p.startSeq(memSeq{txns: p.storeThroughTxns(o.addr, o.size, o.value)}, now)
+			return
+		}
+		p.becomeBusy(now, p.Cost.CacheHit)
+		return
+	}
+	p.startSeq(p.cachedMiss(o), now)
+}
+
+func (p *Proc) uncachedLoad(o op) memSeq {
+	p.Stats.UncachedOps.Inc()
+	txns := []bridge.Txn{{Kind: bridge.TxnSingleRead, Addr: o.addr}}
+	if o.size == 8 {
+		txns = append(txns, bridge.Txn{Kind: bridge.TxnSingleRead, Addr: o.addr + 4})
+	}
+	return memSeq{
+		txns: txns,
+		finish: func(results [][]uint32) (result, int64) {
+			v := uint64(results[0][0])
+			if o.size == 8 {
+				v |= uint64(results[1][0]) << 32
+			}
+			return result{value: v}, 1
+		},
+	}
+}
+
+// storeThroughTxns emits the single-write transactions of an uncached or
+// write-through store (one per 32-bit word).
+func (p *Proc) storeThroughTxns(addr uint32, size int, value uint64) []bridge.Txn {
+	p.Stats.UncachedOps.Inc()
+	txns := []bridge.Txn{{Kind: bridge.TxnSingleWrite, Addr: addr, Data: []uint32{uint32(value)}}}
+	if size == 8 {
+		txns = append(txns, bridge.Txn{
+			Kind: bridge.TxnSingleWrite, Addr: addr + 4, Data: []uint32{uint32(value >> 32)},
+		})
+	}
+	return txns
+}
+
+// cachedMiss plans the transactions for a load/store miss; the lookup has
+// already been performed (and counted) by startCached.
+func (p *Proc) cachedMiss(o op) memSeq {
+	line := cache.LineAddr(o.addr)
+	wb := p.Cache.Policy() == cache.WriteBack
+	if !wb && o.kind == opStore {
+		// Write-through, write-no-allocate: a store miss goes straight
+		// to system memory.
+		return memSeq{txns: p.storeThroughTxns(o.addr, o.size, o.value)}
+	}
+
+	var txns []bridge.Txn
+	if wb {
+		if v := p.Cache.VictimFor(line); v.NeedsWriteback {
+			txns = append(txns, bridge.Txn{
+				Kind: bridge.TxnBlockWrite, Addr: v.Addr, Data: wordsOf(v.Data),
+			})
+		}
+	}
+	txns = append(txns, bridge.Txn{Kind: bridge.TxnBlockRead, Addr: line})
+	return memSeq{
+		txns: txns,
+		finish: func(results [][]uint32) (result, int64) {
+			fill := results[len(results)-1]
+			p.Cache.Fill(line, bytesOf(fill))
+			switch o.kind {
+			case opLoad:
+				return result{value: p.readCache(o.addr, o.size)}, p.Cost.CacheHit
+			case opStore:
+				p.writeCache(o.addr, o.size, o.value)
+				if !wb {
+					// Unreachable: WT store misses never allocate.
+					panic("pe: write-through store allocated")
+				}
+				return result{}, p.Cost.CacheHit
+			}
+			panic("pe: bad cached op")
+		},
+	}
+}
+
+func (p *Proc) readCache(addr uint32, size int) uint64 {
+	return p.Cache.ReadUint(addr, size)
+}
+
+func (p *Proc) writeCache(addr uint32, size int, v uint64) {
+	p.Cache.WriteUint(addr, size, v)
+}
+
+func checkAlign(addr uint32, size int) {
+	if size != 4 && size != 8 {
+		panic(fmt.Sprintf("pe: unsupported access size %d", size))
+	}
+	if addr%uint32(size) != 0 {
+		panic(fmt.Sprintf("pe: unaligned %d-byte access at %#x", size, addr))
+	}
+}
+
+func wordsOf(b []byte) []uint32 {
+	if len(b)%4 != 0 {
+		panic("pe: byte slice not word-aligned")
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+func bytesOf(words []uint32) []byte {
+	out := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(out[4*i:], w)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+// Package pe models a MEDEA processing element: a simple in-order RISC-type
+// core (the paper's Tensilica Xtensa-LX) with an L1 data cache, a pif2NoC
+// bridge for shared-memory transactions, and a TIE message-passing port.
+//
+// Instead of an ISA interpreter, the core executes an abstract operation
+// stream — compute bursts, loads/stores, cache control, lock/unlock, send/
+// receive — with the latencies of the paper's cost model. Application code
+// is ordinary Go running in one goroutine per core against the Env API;
+// a strictly synchronous rendezvous keeps the simulation deterministic.
+package pe
+
+import (
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/cache"
+	"repro/internal/stats"
+	"repro/internal/tie"
+)
+
+type opKind int
+
+const (
+	opCompute opKind = iota
+	opLoad
+	opStore
+	opLoadU
+	opStoreU
+	opFlush
+	opInval
+	opLock
+	opUnlock
+	opSend
+	opRecv
+	opRecvAny
+	opHalt
+)
+
+type op struct {
+	kind   opKind
+	cycles int64
+	addr   uint32
+	size   int // 4 or 8 bytes
+	value  uint64
+	dst    int
+	src    int
+	class  tie.Class
+	words  []uint32
+}
+
+type result struct {
+	value uint64
+	pkt   tie.Packet
+}
+
+type procState int
+
+const (
+	stNeedOp procState = iota
+	stBusy
+	stBridge
+	stSending
+	stReceiving
+	stHalted
+)
+
+// Stats counts per-core events.
+type Stats struct {
+	Ops           stats.Counter
+	ComputeCycles stats.Counter
+	MemOps        stats.Counter
+	UncachedOps   stats.Counter
+	Sends         stats.Counter
+	Recvs         stats.Counter
+	Locks         stats.Counter
+	StallCycles   stats.Counter // cycles spent waiting on memory/NoC
+}
+
+// Proc is one processing element. It implements sim.Component; register it
+// in sim.PhaseNode.
+type Proc struct {
+	ID   int // node id on the NoC
+	Rank int // dense application rank (0..P-1)
+
+	Cache  *cache.Cache
+	Bridge *bridge.Bridge
+	Port   *tie.Port
+	Cost   CostModel
+
+	opCh  chan op
+	resCh chan result
+
+	st        procState
+	busyUntil int64
+	pending   op
+	stash     result
+	seq       memSeq
+	lastCycle int64
+	finish    int64
+
+	Stats Stats
+}
+
+// NewProc wires a processing element from its parts.
+func NewProc(id, rank int, c *cache.Cache, b *bridge.Bridge, p *tie.Port, cost CostModel) *Proc {
+	return &Proc{
+		ID: id, Rank: rank,
+		Cache: c, Bridge: b, Port: p, Cost: cost,
+		opCh:  make(chan op),
+		resCh: make(chan result),
+		st:    stHalted, // until a program is launched
+	}
+}
+
+// Name implements sim.Component.
+func (p *Proc) Name() string { return fmt.Sprintf("pe%d", p.ID) }
+
+// Program is the application code run by a core.
+type Program func(env *Env)
+
+// Launch starts the program goroutine. The core begins fetching operations
+// on the next cycle. Call once per run.
+func (p *Proc) Launch(prog Program) {
+	if p.st != stHalted {
+		panic("pe: program already running")
+	}
+	p.st = stNeedOp
+	go func() {
+		env := &Env{p: p}
+		prog(env)
+		p.opCh <- op{kind: opHalt}
+	}()
+}
+
+// Halted reports whether the program has finished.
+func (p *Proc) Halted() bool { return p.st == stHalted }
+
+// FinishCycle returns the cycle at which the program halted.
+func (p *Proc) FinishCycle() int64 { return p.finish }
+
+// Step implements sim.Component.
+func (p *Proc) Step(now int64) {
+	// Feed the transmit paths first so a flit can leave this cycle.
+	p.Port.StepSend(now)
+	p.Bridge.Step(now)
+
+	switch p.st {
+	case stHalted:
+		return
+	case stNeedOp:
+		p.fetchOp(now)
+	case stBusy:
+		if now >= p.busyUntil {
+			p.complete(now)
+		} else {
+			p.Stats.StallCycles.Inc()
+		}
+	case stBridge:
+		res, ok := p.Bridge.Done()
+		if !ok {
+			p.Stats.StallCycles.Inc()
+			return
+		}
+		p.seq.results = append(p.seq.results, res.Data)
+		p.advanceSeq(now)
+	case stSending:
+		if p.Port.SendBusy() {
+			p.Stats.StallCycles.Inc()
+			return
+		}
+		p.complete(now)
+	case stReceiving:
+		var pkt tie.Packet
+		var ok bool
+		if p.pending.kind == opRecvAny {
+			pkt, ok = p.Port.TryRecvAny(p.pending.class)
+		} else {
+			pkt, ok = p.Port.TryRecv(p.pending.src, p.pending.class)
+		}
+		if !ok {
+			p.Stats.StallCycles.Inc()
+			return
+		}
+		p.stash = result{pkt: pkt}
+		p.becomeBusy(now, 1+int64(len(pkt.Words))*p.Cost.RecvPerWord)
+	}
+}
+
+// fetchOp performs the synchronous rendezvous with the program goroutine
+// and starts the next operation. The receive blocks at most for the time
+// the program needs to compute its next operation, which preserves
+// determinism: the simulator owns the only scheduling decision.
+func (p *Proc) fetchOp(now int64) {
+	o := <-p.opCh
+	p.Stats.Ops.Inc()
+	p.pending = o
+	switch o.kind {
+	case opHalt:
+		p.st = stHalted
+		p.finish = now
+	case opCompute:
+		n := o.cycles
+		if n < 1 {
+			n = 1
+		}
+		p.Stats.ComputeCycles.Add(n)
+		p.becomeBusy(now, n)
+	case opSend:
+		p.Stats.Sends.Inc()
+		if err := p.Port.StartSend(o.dst, o.class, o.words, now); err != nil {
+			panic(err)
+		}
+		p.st = stSending
+	case opRecv, opRecvAny:
+		p.Stats.Recvs.Inc()
+		p.st = stReceiving
+	case opLock, opUnlock:
+		p.Stats.Locks.Inc()
+		p.startSeq(p.lockSeq(o), now)
+	case opLoad, opStore:
+		p.Stats.MemOps.Inc()
+		p.startCached(o, now)
+	case opLoadU, opStoreU, opFlush, opInval:
+		p.Stats.MemOps.Inc()
+		p.startSeq(p.memSeqFor(o), now)
+	default:
+		panic("pe: unknown op")
+	}
+}
+
+func (p *Proc) becomeBusy(now, cycles int64) {
+	if cycles < 1 {
+		cycles = 1
+	}
+	p.busyUntil = now + cycles
+	p.st = stBusy
+}
+
+// complete hands the stashed result to the program and immediately fetches
+// the next operation, so back-to-back operations lose no cycles.
+func (p *Proc) complete(now int64) {
+	p.lastCycle = now
+	res := p.stash
+	p.stash = result{}
+	p.resCh <- res
+	p.st = stNeedOp
+	p.fetchOp(now)
+}
+
+// startSeq begins a memory micro-sequence: zero or more bridge
+// transactions followed by a finishing action.
+func (p *Proc) startSeq(s memSeq, now int64) {
+	p.seq = s
+	p.seq.results = p.seq.results[:0]
+	p.advanceSeq(now)
+}
+
+func (p *Proc) advanceSeq(now int64) {
+	if len(p.seq.txns) > 0 {
+		t := p.seq.txns[0]
+		p.seq.txns = p.seq.txns[1:]
+		p.Bridge.Start(t, now)
+		p.st = stBridge
+		return
+	}
+	extra := int64(1)
+	if p.seq.finish != nil {
+		p.stash, extra = p.seq.finish(p.seq.results)
+	}
+	p.becomeBusy(now, extra)
+}

@@ -1,0 +1,63 @@
+// Package queue provides a small generic FIFO used for the hardware queues
+// of the MEDEA model (TIE ports, bridge output, MPMMU request/data queues,
+// arbiter FIFOs). It tracks peak occupancy so buffer sizing can be audited.
+package queue
+
+// FIFO is a first-in first-out queue. A capacity of 0 or less means
+// unbounded. The zero value is an unbounded empty queue.
+type FIFO[T any] struct {
+	buf  []T
+	cap  int
+	peak int
+}
+
+// NewFIFO returns a FIFO with the given capacity (<= 0 for unbounded).
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	return &FIFO[T]{cap: capacity}
+}
+
+// Push appends v and reports whether there was room.
+func (q *FIFO[T]) Push(v T) bool {
+	if q.cap > 0 && len(q.buf) >= q.cap {
+		return false
+	}
+	q.buf = append(q.buf, v)
+	if len(q.buf) > q.peak {
+		q.peak = len(q.buf)
+	}
+	return true
+}
+
+// Pop removes and returns the oldest element.
+func (q *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.buf) == 0 {
+		return zero, false
+	}
+	v := q.buf[0]
+	copy(q.buf, q.buf[1:])
+	q.buf[len(q.buf)-1] = zero
+	q.buf = q.buf[:len(q.buf)-1]
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.buf) == 0 {
+		return zero, false
+	}
+	return q.buf[0], true
+}
+
+// Len returns the current occupancy.
+func (q *FIFO[T]) Len() int { return len(q.buf) }
+
+// Cap returns the configured capacity (<= 0 for unbounded).
+func (q *FIFO[T]) Cap() int { return q.cap }
+
+// Full reports whether a Push would fail.
+func (q *FIFO[T]) Full() bool { return q.cap > 0 && len(q.buf) >= q.cap }
+
+// Peak returns the highest occupancy ever observed.
+func (q *FIFO[T]) Peak() int { return q.peak }

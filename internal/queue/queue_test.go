@@ -1,0 +1,113 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO[int](0)
+	for i := 0; i < 10; i++ {
+		if !q.Push(i) {
+			t.Fatal("unbounded push failed")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop from empty queue succeeded")
+	}
+}
+
+func TestFIFOCapacity(t *testing.T) {
+	q := NewFIFO[string](2)
+	if !q.Push("a") || !q.Push("b") {
+		t.Fatal("pushes within capacity failed")
+	}
+	if q.Push("c") {
+		t.Error("push beyond capacity succeeded")
+	}
+	if !q.Full() {
+		t.Error("queue should be full")
+	}
+	q.Pop()
+	if q.Full() {
+		t.Error("queue should have room after pop")
+	}
+	if !q.Push("c") {
+		t.Error("push after pop failed")
+	}
+}
+
+func TestFIFOPeek(t *testing.T) {
+	q := NewFIFO[int](0)
+	if _, ok := q.Peek(); ok {
+		t.Error("peek on empty queue succeeded")
+	}
+	q.Push(7)
+	v, ok := q.Peek()
+	if !ok || v != 7 {
+		t.Fatalf("peek got %v, %v", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("peek must not consume")
+	}
+}
+
+func TestFIFOPeak(t *testing.T) {
+	q := NewFIFO[int](0)
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	q.Pop()
+	q.Pop()
+	q.Push(4)
+	if q.Peak() != 3 {
+		t.Errorf("peak = %d, want 3", q.Peak())
+	}
+	if q.Cap() != 0 {
+		t.Errorf("cap = %d, want 0", q.Cap())
+	}
+}
+
+// TestFIFOQuick property-tests FIFO behaviour against a slice model.
+func TestFIFOQuick(t *testing.T) {
+	fn := func(ops []int16) bool {
+		q := NewFIFO[int16](8)
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 { // push
+				okQ := q.Push(op)
+				okM := len(model) < 8
+				if okQ != okM {
+					return false
+				}
+				if okM {
+					model = append(model, op)
+				}
+			} else { // pop
+				v, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package sim provides the deterministic, cycle-accurate simulation engine
+// that replaces the paper's SystemC models.
+//
+// The engine is a two-phase synchronous clock: on every cycle each
+// registered component's Step method runs exactly once, grouped into
+// ordered phases, and then all registers commit. Inter-component state that
+// must behave like a hardware register (visible one cycle after it is
+// written) lives in Reg values; intra-cycle producer/consumer hand-off
+// (e.g. a switch pulling a flit from its local node in the same cycle) is
+// expressed by placing the producer in an earlier phase than the consumer.
+//
+// Determinism: components run in registration order within a phase, all
+// randomness flows through explicitly seeded RNGs, and no map iteration
+// affects behaviour. Two runs of the same configuration produce identical
+// cycle counts, which the integration tests assert.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Component is a clocked hardware block. Step is called once per cycle with
+// the current cycle number.
+type Component interface {
+	// Name identifies the component in traces and error messages.
+	Name() string
+	// Step advances the component by one cycle.
+	Step(now int64)
+}
+
+// committer is the commit half of a register; all registers commit after
+// the last phase of each cycle.
+type committer interface {
+	commit()
+}
+
+// Phases used by the MEDEA system. Nodes (PEs, bridges, MPMMU) run before
+// switches so that a switch can pull a freshly produced flit in the same
+// cycle (1 flit/cycle injection as in the paper).
+const (
+	PhaseNode   = 0
+	PhaseSwitch = 1
+	numPhases   = 2
+)
+
+// Engine drives a set of components cycle by cycle.
+type Engine struct {
+	phases [numPhases][]Component
+	regs   []committer
+	cycle  int64
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Register adds a component to the given phase. Components in lower phases
+// step before components in higher phases within one cycle.
+func (e *Engine) Register(phase int, c Component) {
+	if phase < 0 || phase >= numPhases {
+		panic(fmt.Sprintf("sim: invalid phase %d", phase))
+	}
+	e.phases[phase] = append(e.phases[phase], c)
+}
+
+// addReg registers a register for end-of-cycle commit. Called by NewReg.
+func (e *Engine) addReg(r committer) { e.regs = append(e.regs, r) }
+
+// Now returns the current cycle number.
+func (e *Engine) Now() int64 { return e.cycle }
+
+// Tick runs one full cycle: all phases in order, then register commit.
+func (e *Engine) Tick() {
+	now := e.cycle
+	for p := 0; p < numPhases; p++ {
+		for _, c := range e.phases[p] {
+			c.Step(now)
+		}
+	}
+	for _, r := range e.regs {
+		r.commit()
+	}
+	e.cycle++
+}
+
+// ErrTimeout is returned by RunUntil when the predicate does not become
+// true within the cycle budget.
+var ErrTimeout = errors.New("sim: cycle budget exhausted")
+
+// RunUntil ticks the engine until done() reports true or maxCycles
+// additional cycles have elapsed, in which case it returns ErrTimeout.
+// done is evaluated before each tick, so a predicate that is already true
+// costs zero cycles.
+func (e *Engine) RunUntil(done func() bool, maxCycles int64) error {
+	deadline := e.cycle + maxCycles
+	for !done() {
+		if e.cycle >= deadline {
+			return fmt.Errorf("%w after %d cycles", ErrTimeout, maxCycles)
+		}
+		e.Tick()
+	}
+	return nil
+}
+
+// Run ticks the engine for exactly n cycles.
+func (e *Engine) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		e.Tick()
+	}
+}
+
+// Reg is a single hardware register holding a value of type T with a valid
+// flag. Reads observe the value committed at the end of the previous cycle;
+// writes become visible after the next commit. This gives order-independent
+// semantics between components in the same phase.
+type Reg[T any] struct {
+	cur, next     T
+	curOK, nextOK bool
+	written       bool
+	name          string
+}
+
+// NewReg creates a register attached to the engine's commit list.
+func NewReg[T any](e *Engine, name string) *Reg[T] {
+	r := &Reg[T]{name: name}
+	e.addReg(r)
+	return r
+}
+
+// Valid reports whether the register currently holds a value.
+func (r *Reg[T]) Valid() bool { return r.curOK }
+
+// Get returns the current value and whether it is valid.
+func (r *Reg[T]) Get() (T, bool) { return r.cur, r.curOK }
+
+// Set writes a value that becomes visible after the next commit. Writing a
+// register twice in one cycle is a wiring bug and panics.
+func (r *Reg[T]) Set(v T) {
+	if r.written {
+		panic("sim: register " + r.name + " written twice in one cycle")
+	}
+	r.next, r.nextOK, r.written = v, true, true
+}
+
+// commit latches next into cur. A cycle with no write leaves the register
+// empty (invalid), i.e. links do not hold flits across idle cycles.
+func (r *Reg[T]) commit() {
+	r.cur, r.curOK = r.next, r.nextOK
+	var zero T
+	r.next, r.nextOK, r.written = zero, false, false
+}
+
+// FuncComponent adapts a function to the Component interface, handy in
+// tests and small glue blocks.
+type FuncComponent struct {
+	ComponentName string
+	Fn            func(now int64)
+}
+
+// Name implements Component.
+func (f *FuncComponent) Name() string { return f.ComponentName }
+
+// Step implements Component.
+func (f *FuncComponent) Step(now int64) { f.Fn(now) }

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value should be 0")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("got %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) should panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	for _, v := range []float64{4, 2, 6} {
+		r.Observe(v)
+	}
+	if r.Count() != 3 || r.Sum() != 12 || r.Mean() != 4 || r.Min() != 2 || r.Max() != 6 {
+		t.Errorf("unexpected aggregates: %v", r.String())
+	}
+}
+
+// TestRunningQuick checks that Running matches a naive computation for
+// random inputs.
+func TestRunningQuick(t *testing.T) {
+	fn := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = float64(i)
+			}
+		}
+		var r Running
+		min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, v := range vals {
+			r.Observe(v)
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if len(vals) == 0 {
+			return r.Count() == 0
+		}
+		return r.Min() == min && r.Max() == max && r.Sum() == sum
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 10) // buckets [0,10) .. [90,100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 10 {
+			t.Errorf("bucket %d: %d, want 10", i, h.Bucket(i))
+		}
+	}
+	h.Observe(1e9)
+	if h.Overflow() != 1 {
+		t.Errorf("overflow %d, want 1", h.Overflow())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40 || p50 > 60 {
+		t.Errorf("p50 = %v, want ~50", p50)
+	}
+	if h.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(4, 1)
+	h.Observe(-5)
+	if h.Bucket(0) != 1 {
+		t.Error("negative observations should land in bucket 0")
+	}
+}
+
+func TestHistogramBadConstruction(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		w float64
+	}{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() { _ = recover() }()
+			NewHistogram(c.n, c.w)
+			t.Errorf("NewHistogram(%d, %v) should panic", c.n, c.w)
+		}()
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram(4, 1)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestQuantileRangePanics(t *testing.T) {
+	h := NewHistogram(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(2) should panic")
+		}
+	}()
+	h.Quantile(2)
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(s, 50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := Percentile(s, 100); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	// Input must not be modified.
+	if s[0] != 5 {
+		t.Error("Percentile modified its input")
+	}
+}

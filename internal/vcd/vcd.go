@@ -1,0 +1,115 @@
+// Package vcd writes minimal Value Change Dump (IEEE 1364) waveform files
+// so NoC and node activity can be inspected in a standard waveform viewer
+// (GTKWave etc.). Only the subset needed for debugging the simulator is
+// implemented: scalar and vector wires, one timescale, value changes.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Writer emits a VCD file. Declare all signals, call Start, then Emit
+// values cycle by cycle; identical consecutive values are deduplicated.
+type Writer struct {
+	w       io.Writer
+	signals []*Signal
+	started bool
+	curTime int64
+	timeSet bool
+	err     error
+}
+
+// Signal is one declared wire.
+type Signal struct {
+	name  string
+	width int
+	id    string
+	last  uint64
+	valid bool
+}
+
+// NewWriter creates a VCD writer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Declare registers a signal with the given name and bit width (1..64)
+// before Start is called.
+func (v *Writer) Declare(name string, width int) *Signal {
+	if v.started {
+		panic("vcd: Declare after Start")
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("vcd: width %d out of range", width))
+	}
+	s := &Signal{name: name, width: width, id: idFor(len(v.signals))}
+	v.signals = append(v.signals, s)
+	return s
+}
+
+// idFor produces the short printable identifier VCD uses for signals.
+func idFor(n int) string {
+	const alpha = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	id := ""
+	for {
+		id = string(alpha[n%len(alpha)]) + id
+		n = n/len(alpha) - 1
+		if n < 0 {
+			return id
+		}
+	}
+}
+
+// Start writes the header. The timescale is 1 ns per simulator cycle.
+func (v *Writer) Start(module string) error {
+	if v.started {
+		return fmt.Errorf("vcd: already started")
+	}
+	v.started = true
+	v.printf("$timescale 1ns $end\n$scope module %s $end\n", module)
+	sigs := append([]*Signal(nil), v.signals...)
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].name < sigs[j].name })
+	for _, s := range sigs {
+		v.printf("$var wire %d %s %s $end\n", s.width, s.id, s.name)
+	}
+	v.printf("$upscope $end\n$enddefinitions $end\n")
+	return v.err
+}
+
+// Emit records a signal value at the given cycle. Values equal to the
+// previous emission are suppressed.
+func (v *Writer) Emit(cycle int64, s *Signal, value uint64) error {
+	if !v.started {
+		return fmt.Errorf("vcd: Emit before Start")
+	}
+	if s.valid && s.last == value {
+		return v.err
+	}
+	if !v.timeSet || cycle != v.curTime {
+		if v.timeSet && cycle < v.curTime {
+			return fmt.Errorf("vcd: time went backwards (%d after %d)", cycle, v.curTime)
+		}
+		v.printf("#%d\n", cycle)
+		v.curTime = cycle
+		v.timeSet = true
+	}
+	s.last, s.valid = value, true
+	if s.width == 1 {
+		v.printf("%d%s\n", value&1, s.id)
+		return v.err
+	}
+	v.printf("b%b %s\n", value, s.id)
+	return v.err
+}
+
+// Close finalizes the stream (VCD needs no trailer; this flushes errors).
+func (v *Writer) Close() error { return v.err }
+
+func (v *Writer) printf(format string, args ...any) {
+	if v.err != nil {
+		return
+	}
+	_, v.err = fmt.Fprintf(v.w, format, args...)
+}

@@ -1,0 +1,103 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeaderAndChanges(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	clk := w.Declare("clk", 1)
+	bus := w.Declare("bus", 8)
+	if err := w.Start("medea"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(0, clk, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(0, bus, 0xA5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(1, clk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module medea $end",
+		"$var wire 1",
+		"$var wire 8",
+		"$enddefinitions $end",
+		"#0",
+		"b10100101",
+		"#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	s := w.Declare("x", 1)
+	w.Start("m")
+	w.Emit(0, s, 1)
+	before := b.Len()
+	w.Emit(1, s, 1) // same value: no output
+	if b.Len() != before {
+		t.Error("duplicate value emitted")
+	}
+	w.Emit(2, s, 0)
+	if b.Len() == before {
+		t.Error("changed value suppressed")
+	}
+}
+
+func TestTimeMonotonic(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	s := w.Declare("x", 1)
+	w.Start("m")
+	w.Emit(5, s, 1)
+	if err := w.Emit(3, s, 0); err == nil {
+		t.Error("time going backwards should error")
+	}
+}
+
+func TestEmitBeforeStart(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	s := w.Declare("x", 1)
+	if err := w.Emit(0, s, 1); err == nil {
+		t.Error("Emit before Start should error")
+	}
+}
+
+func TestDeclareAfterStartPanics(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Start("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("Declare after Start should panic")
+		}
+	}()
+	w.Declare("late", 1)
+}
+
+func TestIDsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := idFor(i)
+		if seen[id] {
+			t.Fatalf("id %q repeated at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
