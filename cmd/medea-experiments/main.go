@@ -7,13 +7,16 @@
 // Examples:
 //
 //	medea-experiments -fig all -full
-//	medea-experiments -fig 7
+//	medea-experiments -fig 8 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/dse"
 	"repro/internal/syncbench"
@@ -25,57 +28,108 @@ func main() {
 
 	fig := flag.String("fig", "all", "which experiment: 6 | 7 | 8 | 9 | hybrid | sync | barrier | all")
 	full := flag.Bool("full", false, "run the paper's full parameter grid (slower)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	f := dse.Quick
-	if *full {
-		f = dse.Full
-	}
-
-	switch *fig {
-	case "6":
-		t, _, err := dse.Fig6(f)
-		exitOn(err)
-		fmt.Println(t)
-	case "7":
-		_, pts, err := dse.Fig6(f)
-		exitOn(err)
-		fmt.Println(dse.Fig7(pts))
-	case "8":
-		t, _, err := dse.Fig8(f)
-		exitOn(err)
-		fmt.Println(t)
-	case "9":
-		_, pts, err := dse.Fig8(f)
-		exitOn(err)
-		fmt.Println(dse.Fig9(pts))
-	case "hybrid":
-		t, _, err := dse.HybridComparison(f)
-		exitOn(err)
-		fmt.Println(t)
-	case "sync":
-		t, _, err := dse.SmallCacheComparison(f)
-		exitOn(err)
-		fmt.Println(t)
-	case "barrier":
-		cores := []int{2, 4, 8}
-		if f == dse.Full {
-			cores = []int{2, 4, 6, 8, 10, 12, 15}
-		}
-		t, err := syncbench.Table(cores, 20)
-		exitOn(err)
-		fmt.Println(t)
-	case "all":
-		t, err := dse.AllExperiments(f)
-		exitOn(err)
-		fmt.Println(t)
-	default:
-		log.Fatalf("unknown -fig %q", *fig)
+	// Errors propagate back here instead of os.Exit-ing in place so the
+	// profile defers inside run still flush (a profile of a failing run is
+	// exactly the one worth keeping).
+	if err := run(*fig, *full, *cpuprofile, *memprofile); err != nil {
+		log.Fatal(err)
 	}
 }
 
-func exitOn(err error) {
-	if err != nil {
-		log.Fatal(err)
+func run(fig string, full bool, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
+	}
+
+	fid := dse.Quick
+	if full {
+		fid = dse.Full
+	}
+
+	switch fig {
+	case "6":
+		t, _, err := dse.Fig6(fid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "7":
+		_, pts, err := dse.Fig6(fid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(dse.Fig7(pts))
+	case "8":
+		t, _, err := dse.Fig8(fid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "9":
+		_, pts, err := dse.Fig8(fid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(dse.Fig9(pts))
+	case "hybrid":
+		t, _, err := dse.HybridComparison(fid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "sync":
+		t, _, err := dse.SmallCacheComparison(fid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "barrier":
+		cores := []int{2, 4, 8}
+		if fid == dse.Full {
+			cores = []int{2, 4, 6, 8, 10, 12, 15}
+		}
+		t, err := syncbench.Table(cores, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	case "all":
+		t, err := dse.AllExperiments(fid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	default:
+		return fmt.Errorf("unknown -fig %q", fig)
+	}
+	return nil
 }

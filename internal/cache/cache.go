@@ -191,6 +191,7 @@ type Victim struct {
 }
 
 // VictimFor returns information about the line a Fill of addr would evict.
+// It allocates the victim data; hot paths should use VictimInto.
 func (c *Cache) VictimFor(addr uint32) Victim {
 	l := c.victimSlot(addr)
 	if !l.valid {
@@ -203,6 +204,20 @@ func (c *Cache) VictimFor(addr uint32) Victim {
 		v.Data = append([]byte(nil), l.data[:]...)
 	}
 	return v
+}
+
+// VictimInto is the allocation-free form of VictimFor for callers that only
+// care about the write-back: when the line a Fill of addr would replace is
+// valid and dirty, its bytes are copied into dst (len(dst) >= LineBytes)
+// and its base address returned with needsWriteback true.
+func (c *Cache) VictimInto(addr uint32, dst []byte) (victimAddr uint32, needsWriteback bool) {
+	l := c.victimSlot(addr)
+	if !l.valid || !l.dirty {
+		return 0, false
+	}
+	base := (l.tag*uint32(c.numSets) + uint32(c.set(addr))) * LineBytes
+	copy(dst[:LineBytes], l.data[:])
+	return base, true
 }
 
 // Fill installs the 16-byte line containing addr into the slot VictimFor
@@ -239,14 +254,22 @@ func (c *Cache) mustLine(addr uint32) *line {
 	return l
 }
 
-// Read copies n bytes at addr out of a resident line. addr..addr+n must
-// stay inside one line.
-func (c *Cache) Read(addr uint32, n int) []byte {
-	checkSpan(addr, n)
+// ReadInto copies len(dst) bytes at addr out of a resident line into dst
+// without allocating. addr..addr+len(dst) must stay inside one line. It is
+// the hot-path form of Read.
+func (c *Cache) ReadInto(addr uint32, dst []byte) {
+	checkSpan(addr, len(dst))
 	l := c.mustLine(addr)
 	off := addr & (LineBytes - 1)
+	copy(dst, l.data[off:int(off)+len(dst)])
+}
+
+// Read copies n bytes at addr out of a resident line. addr..addr+n must
+// stay inside one line. It allocates the result; hot paths should use
+// ReadInto or ReadUint instead.
+func (c *Cache) Read(addr uint32, n int) []byte {
 	out := make([]byte, n)
-	copy(out, l.data[off:int(off)+n])
+	c.ReadInto(addr, out)
 	return out
 }
 
@@ -262,9 +285,9 @@ func (c *Cache) Write(addr uint32, b []byte) {
 	}
 }
 
-// ReadWord reads a resident 32-bit word.
+// ReadWord reads a resident 32-bit word without allocating.
 func (c *Cache) ReadWord(addr uint32) uint32 {
-	return binary.LittleEndian.Uint32(c.Read(addr, 4))
+	return uint32(c.ReadUint(addr, 4))
 }
 
 // ReadUint reads a resident 4- or 8-byte value without allocating; it is
@@ -303,18 +326,30 @@ func (c *Cache) WriteWord(addr uint32, v uint32) {
 	c.Write(addr, b[:])
 }
 
-// FlushLine implements the software cache-flush of a line: if the line
-// containing addr is resident and dirty, its data is returned for write-
-// back and the line is marked clean (it stays valid). ok reports whether a
-// write-back is required.
-func (c *Cache) FlushLine(addr uint32) (data []byte, ok bool) {
+// FlushLineInto implements the software cache-flush of a line without
+// allocating: if the line containing addr is resident and dirty, its bytes
+// are copied into dst (len(dst) >= LineBytes) for write-back and the line
+// is marked clean (it stays valid). ok reports whether a write-back is
+// required.
+func (c *Cache) FlushLineInto(addr uint32, dst []byte) (ok bool) {
 	c.Stats.Flushes.Inc()
 	l := c.find(addr)
 	if l == nil || !l.dirty {
-		return nil, false
+		return false
 	}
 	l.dirty = false
-	return append([]byte(nil), l.data[:]...), true
+	copy(dst[:LineBytes], l.data[:])
+	return true
+}
+
+// FlushLine is the allocating form of FlushLineInto, kept for call sites
+// off the per-cycle path.
+func (c *Cache) FlushLine(addr uint32) (data []byte, ok bool) {
+	var buf [LineBytes]byte
+	if !c.FlushLineInto(addr, buf[:]) {
+		return nil, false
+	}
+	return append([]byte(nil), buf[:]...), true
 }
 
 // InvalidateLine implements the DII instruction: the line containing addr

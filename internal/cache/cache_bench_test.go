@@ -1,0 +1,52 @@
+package cache
+
+import "testing"
+
+func benchCache(b *testing.B) *Cache {
+	b.Helper()
+	c, err := New(KB(16, WriteBack))
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := make([]byte, LineBytes)
+	for i := range line {
+		line[i] = byte(i)
+	}
+	for addr := uint32(0); addr < 1024; addr += LineBytes {
+		c.Fill(addr, line)
+	}
+	return c
+}
+
+// BenchmarkCacheAccess measures the simulator's hottest loop: word reads
+// and writes against resident lines. The read path must not allocate.
+func BenchmarkCacheAccess(b *testing.B) {
+	b.Run("ReadWord", func(b *testing.B) {
+		c := benchCache(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			sink += c.ReadWord(uint32(i%256) * 4)
+		}
+		_ = sink
+	})
+	b.Run("ReadUint", func(b *testing.B) {
+		c := benchCache(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += c.ReadUint(uint32(i%128)*8, 8)
+		}
+		_ = sink
+	})
+	b.Run("WriteUint", func(b *testing.B) {
+		c := benchCache(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.WriteUint(uint32(i%128)*8, 8, uint64(i))
+		}
+	})
+}

@@ -303,10 +303,11 @@ func (s *System) Cycles() int64 {
 // results can be checked against a reference; it is not a simulated
 // operation and costs no cycles.
 func (s *System) DrainCaches() {
+	var buf [cache.LineBytes]byte
 	for _, p := range s.Procs {
 		for _, addr := range p.Cache.DirtyLines() {
-			if data, ok := p.Cache.FlushLine(addr); ok {
-				s.writeThroughMMU(addr, data)
+			if p.Cache.FlushLineInto(addr, buf[:]) {
+				s.writeThroughMMU(addr, buf[:])
 			}
 		}
 	}

@@ -58,24 +58,36 @@ func (d *DDR) page(addr uint32) *[pageSize]byte {
 	return p
 }
 
-// Read copies n bytes starting at addr into a fresh slice.
+// ReadInto copies len(dst) bytes starting at addr into dst without
+// allocating, chunking by page so the page lookup runs once per page
+// touched rather than once per byte.
+func (d *DDR) ReadInto(addr uint32, dst []byte) {
+	d.Reads.Add(int64((len(dst) + 3) / 4))
+	for len(dst) > 0 {
+		off := int(addr & (pageSize - 1))
+		n := copy(dst, d.page(addr)[off:])
+		addr += uint32(n)
+		dst = dst[n:]
+	}
+}
+
+// Read copies n bytes starting at addr into a fresh slice. Hot paths
+// should use ReadInto.
 func (d *DDR) Read(addr uint32, n int) []byte {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		a := addr + uint32(i)
-		out[i] = d.page(a)[a&(pageSize-1)]
-	}
-	d.Reads.Add(int64((n + 3) / 4))
+	d.ReadInto(addr, out)
 	return out
 }
 
 // Write stores the bytes of b starting at addr.
 func (d *DDR) Write(addr uint32, b []byte) {
-	for i, v := range b {
-		a := addr + uint32(i)
-		d.page(a)[a&(pageSize-1)] = v
-	}
 	d.Writes.Add(int64((len(b) + 3) / 4))
+	for len(b) > 0 {
+		off := int(addr & (pageSize - 1))
+		n := copy(d.page(addr)[off:], b)
+		addr += uint32(n)
+		b = b[n:]
+	}
 }
 
 // ReadWord reads a 32-bit little-endian word. addr must be 4-aligned.

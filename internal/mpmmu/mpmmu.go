@@ -87,6 +87,12 @@ type Unit struct {
 	gotCount  int
 	afterBusy func(now int64)
 
+	// Scratch buffers for the per-request access path. The MPMMU serves
+	// one request at a time, so a single set of buffers is safe and keeps
+	// the busiest component in the system allocation-free.
+	readBuf     [4]uint32
+	lineScratch [cache.LineBytes]byte
+
 	locks     map[uint32]*lockState
 	nextPktID uint64
 
@@ -317,11 +323,13 @@ func (u *Unit) pushOut(dstNode int, t flit.Type, sub flit.SubType, seq, burst ui
 	}
 }
 
-// readWords reads n 32-bit words at addr through the local cache and
-// returns the data plus the access latency in cycles.
+// readWords reads n (<= 4) 32-bit words at addr through the local cache
+// and returns the data plus the access latency in cycles. The returned
+// slice aliases the unit's scratch buffer; it is consumed before the next
+// request starts (the MPMMU is busy until the reply is enqueued).
 func (u *Unit) readWords(addr uint32, n int) ([]uint32, int64) {
 	lat := u.touchLine(addr)
-	out := make([]uint32, n)
+	out := u.readBuf[:n]
 	for i := 0; i < n; i++ {
 		a := addr + uint32(4*i)
 		if cache.LineAddr(a) != cache.LineAddr(addr) {
@@ -342,11 +350,10 @@ func (u *Unit) writeWord(addr uint32, v uint32) int64 {
 // writeLine writes a full line through the local cache.
 func (u *Unit) writeLine(addr uint32, words []uint32) int64 {
 	lat := u.touchLine(addr)
-	b := make([]byte, cache.LineBytes)
 	for i, w := range words[:4] {
-		binary.LittleEndian.PutUint32(b[4*i:], w)
+		binary.LittleEndian.PutUint32(u.lineScratch[4*i:], w)
 	}
-	u.cache.Write(addr, b)
+	u.cache.Write(addr, u.lineScratch[:])
 	return lat
 }
 
@@ -359,11 +366,12 @@ func (u *Unit) touchLine(addr uint32) int64 {
 	}
 	lat := u.cfg.HitCycles
 	line := cache.LineAddr(addr)
-	if v := u.cache.VictimFor(line); v.NeedsWriteback {
-		u.ddr.Write(v.Addr, v.Data)
+	if vaddr, wb := u.cache.VictimInto(line, u.lineScratch[:]); wb {
+		u.ddr.Write(vaddr, u.lineScratch[:])
 		lat += u.ddr.Latency.Cost(cache.LineBytes / 4)
 	}
-	u.cache.Fill(line, u.ddr.Read(line, cache.LineBytes))
+	u.ddr.ReadInto(line, u.lineScratch[:])
+	u.cache.Fill(line, u.lineScratch[:])
 	lat += u.ddr.Latency.Cost(cache.LineBytes / 4)
 	return lat
 }
@@ -372,9 +380,8 @@ func (u *Unit) touchLine(addr uint32) int64 {
 // at the end of a run so that functional results can be checked in DDR.
 func (u *Unit) FlushCache() {
 	for _, addr := range u.cache.DirtyLines() {
-		data, ok := u.cache.FlushLine(addr)
-		if ok {
-			u.ddr.Write(addr, data)
+		if u.cache.FlushLineInto(addr, u.lineScratch[:]) {
+			u.ddr.Write(addr, u.lineScratch[:])
 		}
 	}
 }

@@ -60,9 +60,20 @@ func (s *DeflSwitch) ID() int { return s.id }
 func (s *DeflSwitch) Step(now int64) {
 	pool := s.pool[:0]
 	for p := 0; p < int(NumPorts); p++ {
-		if f, ok := s.in[p].Get(); ok {
+		if s.in[p].Valid() {
+			f, _ := s.in[p].Get()
 			pool = append(pool, routedFlit{f: f, inPort: p})
 		}
+	}
+	if len(pool) == 0 {
+		// Idle fast path: no flits in flight through this switch, so every
+		// output port is free and the only possible work is an injection.
+		// This is the common case at the calibrated workloads' loads and
+		// skips the ejection/sort/placement machinery entirely.
+		if f, ok := s.local.TryPull(); ok {
+			s.injectIntoIdle(f)
+		}
+		return
 	}
 
 	// Ejection: pick the oldest flit addressed to this node.
@@ -187,6 +198,27 @@ func (s *DeflSwitch) Step(now int64) {
 		}
 	}
 	s.pool = pool[:0]
+}
+
+// injectIntoIdle places a freshly injected flit when every output port is
+// free. It mirrors the placement the full path would compute: the first
+// productive port, falling back to the first port (deflection) for the
+// degenerate self-addressed case.
+func (s *DeflSwitch) injectIntoIdle(f flit.Flit) {
+	s.Stats.Injected.Inc()
+	s.net.noteInjected()
+	s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(f.DstX), int(f.DstY))
+	f.Meta.Hops++
+	p := Port(0)
+	if len(s.ports) > 0 {
+		p = s.ports[0]
+		s.Stats.Productive.Inc()
+	} else {
+		f.Meta.Deflections++
+		s.Stats.Deflected.Inc()
+	}
+	s.Stats.Routed.Inc()
+	s.out[p].Set(f)
 }
 
 // older orders flits for arbitration: oldest injection cycle first, then

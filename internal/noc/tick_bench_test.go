@@ -1,0 +1,37 @@
+package noc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkTick measures the per-cycle cost of the engine on a 4x4 folded
+// torus (the paper's mesh: 16 switches, 64 link registers) at three offered
+// loads. At low load almost every link register is idle, which is the
+// common case in the calibrated workloads — the engine must not pay a
+// commit per idle register.
+func BenchmarkTick(b *testing.B) {
+	topo, err := NewTopology(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rate := range []float64{0, 0.05, 0.4} {
+		b.Run(fmt.Sprintf("load-%.2f", rate), func(b *testing.B) {
+			e := sim.NewEngine()
+			n := NewNetwork(e, topo)
+			for id := 0; id < topo.NumNodes(); id++ {
+				tn := NewTrafficNode(id, topo, TrafficConfig{Pattern: Uniform, Rate: rate}, 1)
+				n.Attach(id, tn)
+				e.Register(sim.PhaseNode, tn)
+			}
+			e.Run(100) // warm up: steady-state occupancy
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Tick()
+			}
+		})
+	}
+}

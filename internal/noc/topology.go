@@ -120,7 +120,17 @@ func axisDist(a, b, n int) int {
 // When the destination is equidistant in both directions of an axis (even
 // torus, exactly half-way) both directions are productive.
 func (t Topology) ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port {
-	if de := ((dstX-x)%t.W + t.W) % t.W; de != 0 {
+	// This runs once per routed flit per cycle; coordinates are in range
+	// in every caller, so wrap with a subtraction and keep the div-based
+	// modulo as a fallback for out-of-range inputs only.
+	de := dstX - x
+	if de < 0 {
+		de += t.W
+	}
+	if de < 0 || de >= t.W {
+		de = ((dstX-x)%t.W + t.W) % t.W
+	}
+	if de != 0 {
 		dw := t.W - de
 		if de <= dw {
 			dst = append(dst, East)
@@ -129,7 +139,14 @@ func (t Topology) ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port {
 			dst = append(dst, West)
 		}
 	}
-	if dn := ((dstY-y)%t.H + t.H) % t.H; dn != 0 {
+	dn := dstY - y
+	if dn < 0 {
+		dn += t.H
+	}
+	if dn < 0 || dn >= t.H {
+		dn = ((dstY-y)%t.H + t.H) % t.H
+	}
+	if dn != 0 {
 		ds := t.H - dn
 		if dn <= ds {
 			dst = append(dst, North)

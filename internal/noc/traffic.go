@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/flit"
+	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -61,7 +62,7 @@ type TrafficNode struct {
 	topo  Topology
 	cfg   TrafficConfig
 	rng   *sim.RNG
-	outQ  []flit.Flit
+	outQ  *queue.FIFO[flit.Flit]
 	now   int64
 	pktID uint64
 
@@ -76,7 +77,11 @@ func NewTrafficNode(id int, topo Topology, cfg TrafficConfig, seed int64) *Traff
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
 	}
-	return &TrafficNode{id: id, topo: topo, cfg: cfg, rng: sim.NewRNG(seed ^ int64(id)*0x9E37)}
+	return &TrafficNode{
+		id: id, topo: topo, cfg: cfg,
+		rng:  sim.NewRNG(seed ^ int64(id)*0x9E37),
+		outQ: queue.NewFIFO[flit.Flit](cfg.QueueCap),
+	}
 }
 
 // Name implements sim.Component.
@@ -88,7 +93,7 @@ func (t *TrafficNode) Step(now int64) {
 	if !t.rng.Bernoulli(t.cfg.Rate) {
 		return
 	}
-	if len(t.outQ) >= t.cfg.QueueCap {
+	if t.outQ.Full() {
 		t.Throttled.Inc()
 		return
 	}
@@ -106,7 +111,7 @@ func (t *TrafficNode) Step(now int64) {
 	}
 	f.Meta.InjectCycle = now
 	f.Meta.PacketID = uint64(t.id)<<40 | t.pktID
-	t.outQ = append(t.outQ, f)
+	t.outQ.Push(f)
 	t.Sent.Inc()
 }
 
@@ -131,12 +136,10 @@ func (t *TrafficNode) destination() int {
 
 // TryPull implements LocalPort.
 func (t *TrafficNode) TryPull() (flit.Flit, bool) {
-	if len(t.outQ) == 0 {
-		return flit.Flit{}, false
+	f, ok := t.outQ.Pop()
+	if !ok {
+		return f, false
 	}
-	f := t.outQ[0]
-	copy(t.outQ, t.outQ[1:])
-	t.outQ = t.outQ[:len(t.outQ)-1]
 	t.QueueLat.Observe(float64(t.now - f.Meta.InjectCycle))
 	return f, true
 }
@@ -145,4 +148,4 @@ func (t *TrafficNode) TryPull() (flit.Flit, bool) {
 func (t *TrafficNode) Deliver(flit.Flit, int64) { t.Recv.Inc() }
 
 // Pending returns the current source-queue occupancy.
-func (t *TrafficNode) Pending() int { return len(t.outQ) }
+func (t *TrafficNode) Pending() int { return t.outQ.Len() }

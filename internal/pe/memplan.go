@@ -36,14 +36,14 @@ func (p *Proc) memSeqFor(o op) memSeq {
 	case opFlush:
 		// Software cache flush: write the dirty line back to system
 		// memory so producer-side coherency holds (paper §II-E).
-		data, dirty := p.Cache.FlushLine(o.addr)
-		if !dirty {
+		var buf [cache.LineBytes]byte
+		if !p.Cache.FlushLineInto(o.addr, buf[:]) {
 			return memSeq{}
 		}
 		return memSeq{txns: []bridge.Txn{{
 			Kind: bridge.TxnBlockWrite,
 			Addr: cache.LineAddr(o.addr),
-			Data: wordsOf(data),
+			Data: wordsOf(buf[:]),
 		}}}
 	case opInval:
 		// The DII instruction: drop the line so the next access fetches
@@ -128,9 +128,10 @@ func (p *Proc) cachedMiss(o op) memSeq {
 
 	var txns []bridge.Txn
 	if wb {
-		if v := p.Cache.VictimFor(line); v.NeedsWriteback {
+		var buf [cache.LineBytes]byte
+		if vaddr, needsWB := p.Cache.VictimInto(line, buf[:]); needsWB {
 			txns = append(txns, bridge.Txn{
-				Kind: bridge.TxnBlockWrite, Addr: v.Addr, Data: wordsOf(v.Data),
+				Kind: bridge.TxnBlockWrite, Addr: vaddr, Data: wordsOf(buf[:]),
 			})
 		}
 	}

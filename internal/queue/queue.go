@@ -1,29 +1,61 @@
 // Package queue provides a small generic FIFO used for the hardware queues
 // of the MEDEA model (TIE ports, bridge output, MPMMU request/data queues,
 // arbiter FIFOs). It tracks peak occupancy so buffer sizing can be audited.
+//
+// The backing store is a ring buffer: Push and Pop are amortized O(1), so
+// the per-cycle drain performed by the bridge, MPMMU, arbiter and TIE
+// ports costs the same regardless of occupancy (the previous slice-shift
+// implementation made every Pop O(n)).
 package queue
 
 // FIFO is a first-in first-out queue. A capacity of 0 or less means
 // unbounded. The zero value is an unbounded empty queue.
 type FIFO[T any] struct {
-	buf  []T
+	buf  []T // ring storage; len(buf) is the current ring size
+	head int // index of the oldest element
+	size int // number of elements
 	cap  int
 	peak int
 }
 
 // NewFIFO returns a FIFO with the given capacity (<= 0 for unbounded).
 func NewFIFO[T any](capacity int) *FIFO[T] {
-	return &FIFO[T]{cap: capacity}
+	q := &FIFO[T]{cap: capacity}
+	if capacity > 0 {
+		// Bounded queues never need to grow: allocate the ring once.
+		q.buf = make([]T, capacity)
+	}
+	return q
+}
+
+// grow doubles the ring (minimum 4 slots), linearizing the elements.
+func (q *FIFO[T]) grow() {
+	n := 2 * len(q.buf)
+	if n < 4 {
+		n = 4
+	}
+	buf := make([]T, n)
+	copied := copy(buf, q.buf[q.head:])
+	copy(buf[copied:], q.buf[:q.head])
+	q.buf, q.head = buf, 0
 }
 
 // Push appends v and reports whether there was room.
 func (q *FIFO[T]) Push(v T) bool {
-	if q.cap > 0 && len(q.buf) >= q.cap {
+	if q.cap > 0 && q.size >= q.cap {
 		return false
 	}
-	q.buf = append(q.buf, v)
-	if len(q.buf) > q.peak {
-		q.peak = len(q.buf)
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	i := q.head + q.size
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = v
+	q.size++
+	if q.size > q.peak {
+		q.peak = q.size
 	}
 	return true
 }
@@ -31,33 +63,36 @@ func (q *FIFO[T]) Push(v T) bool {
 // Pop removes and returns the oldest element.
 func (q *FIFO[T]) Pop() (T, bool) {
 	var zero T
-	if len(q.buf) == 0 {
+	if q.size == 0 {
 		return zero, false
 	}
-	v := q.buf[0]
-	copy(q.buf, q.buf[1:])
-	q.buf[len(q.buf)-1] = zero
-	q.buf = q.buf[:len(q.buf)-1]
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release the reference for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.size--
 	return v, true
 }
 
 // Peek returns the oldest element without removing it.
 func (q *FIFO[T]) Peek() (T, bool) {
 	var zero T
-	if len(q.buf) == 0 {
+	if q.size == 0 {
 		return zero, false
 	}
-	return q.buf[0], true
+	return q.buf[q.head], true
 }
 
 // Len returns the current occupancy.
-func (q *FIFO[T]) Len() int { return len(q.buf) }
+func (q *FIFO[T]) Len() int { return q.size }
 
 // Cap returns the configured capacity (<= 0 for unbounded).
 func (q *FIFO[T]) Cap() int { return q.cap }
 
 // Full reports whether a Push would fail.
-func (q *FIFO[T]) Full() bool { return q.cap > 0 && len(q.buf) >= q.cap }
+func (q *FIFO[T]) Full() bool { return q.cap > 0 && q.size >= q.cap }
 
 // Peak returns the highest occupancy ever observed.
 func (q *FIFO[T]) Peak() int { return q.peak }

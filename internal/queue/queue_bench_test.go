@@ -1,0 +1,53 @@
+package queue
+
+import "testing"
+
+// BenchmarkFIFOPushPop measures the steady-state cost of the per-cycle
+// push+pop pairs that the bridge, MPMMU, arbiter and TIE ports perform.
+// The queue is pre-filled so Pop always has work and the cost of moving
+// the backing store (O(n) in the pre-ring implementation) is visible.
+func BenchmarkFIFOPushPop(b *testing.B) {
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(benchName(depth), func(b *testing.B) {
+			q := NewFIFO[uint64](0)
+			for i := 0; i < depth; i++ {
+				q.Push(uint64(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Push(uint64(i))
+				if _, ok := q.Pop(); !ok {
+					b.Fatal("pop failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFIFOBurst fills and drains the queue completely, the pattern of
+// a block transfer (4 flits) and of the MPMMU draining its request queue.
+func BenchmarkFIFOBurst(b *testing.B) {
+	q := NewFIFO[uint64](16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 16; j++ {
+			q.Push(uint64(j))
+		}
+		for j := 0; j < 16; j++ {
+			q.Pop()
+		}
+	}
+}
+
+func benchName(depth int) string {
+	switch depth {
+	case 1:
+		return "depth-1"
+	case 8:
+		return "depth-8"
+	default:
+		return "depth-64"
+	}
+}

@@ -13,6 +13,29 @@
 // randomness flows through explicitly seeded RNGs, and no map iteration
 // affects behaviour. Two runs of the same configuration produce identical
 // cycle counts, which the integration tests assert.
+//
+// # Performance
+//
+// Tick is the simulator's innermost loop: every workload cycle executes
+// every component Step plus the register-commit pass, so its constant
+// factors multiply across the millions of cycles behind each design-space
+// point. The commit pass therefore uses a dirty list instead of scanning
+// all registers: Set enqueues the register's index on the engine's
+// per-cycle dirty list (a pointer-free int32 slice, so the append has no
+// GC write barrier, resolved through a table of pre-bound commit functions
+// rather than an interface dispatch), and Tick commits only the registers
+// written during the cycle. A register that holds a value but is not
+// rewritten must still drain — links do not hold flits across idle cycles
+// — which is implemented lazily: commit stamps the register with the one
+// cycle during which its value is observable, and Valid/Get compare that
+// stamp against the engine clock, so an idle register expires without
+// ever being touched again. In a 4x4 mesh at realistic loads the
+// overwhelming majority of the 64 link registers are idle on any given
+// cycle, and the engine pays nothing for them.
+//
+// Run `go test ./internal/noc -bench BenchmarkTick -run '^$'` to measure
+// the per-cycle cost on the paper's 4x4 mesh, and see the repository
+// doc.go Performance section for profiling the full experiment binaries.
 package sim
 
 import (
@@ -29,12 +52,6 @@ type Component interface {
 	Step(now int64)
 }
 
-// committer is the commit half of a register; all registers commit after
-// the last phase of each cycle.
-type committer interface {
-	commit()
-}
-
 // Phases used by the MEDEA system. Nodes (PEs, bridges, MPMMU) run before
 // switches so that a switch can pull a freshly produced flit in the same
 // cycle (1 flit/cycle injection as in the paper).
@@ -44,11 +61,33 @@ const (
 	numPhases   = 2
 )
 
+// commitFunc commits one dirty register, making its value observable during
+// the given cycle. Using a concrete function table instead of an interface
+// keeps the commit loop free of interface dispatch.
+type commitFunc func(visibleAt int64)
+
 // Engine drives a set of components cycle by cycle.
 type Engine struct {
 	phases [numPhases][]Component
-	regs   []committer
-	cycle  int64
+	// commitFns holds one pre-bound commit function per register, in
+	// creation order; a register is addressed by its index. The dirty list
+	// stores indices rather than the function values themselves so that
+	// enqueueing a register is a pointer-free int32 append (no GC write
+	// barrier on the per-cycle path).
+	commitFns []commitFunc
+	// dirty holds the registers written during the current cycle (enqueued
+	// by Reg.Set); only these commit at the end of the cycle. spare
+	// recycles the previous cycle's backing array so steady-state ticking
+	// does not allocate.
+	dirty []int32
+	spare []int32
+	cycle int64
+}
+
+// addReg registers a commit function and returns the register's index.
+func (e *Engine) addReg(fn commitFunc) int32 {
+	e.commitFns = append(e.commitFns, fn)
+	return int32(len(e.commitFns) - 1)
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -63,13 +102,11 @@ func (e *Engine) Register(phase int, c Component) {
 	e.phases[phase] = append(e.phases[phase], c)
 }
 
-// addReg registers a register for end-of-cycle commit. Called by NewReg.
-func (e *Engine) addReg(r committer) { e.regs = append(e.regs, r) }
-
 // Now returns the current cycle number.
 func (e *Engine) Now() int64 { return e.cycle }
 
-// Tick runs one full cycle: all phases in order, then register commit.
+// Tick runs one full cycle: all phases in order, then the dirty-register
+// commit.
 func (e *Engine) Tick() {
 	now := e.cycle
 	for p := 0; p < numPhases; p++ {
@@ -77,9 +114,18 @@ func (e *Engine) Tick() {
 			c.Step(now)
 		}
 	}
-	for _, r := range e.regs {
-		r.commit()
+	// Commit the dirty list: exactly the registers written this cycle.
+	// Unwritten registers expire by themselves (their validity stamp stops
+	// matching the clock), so they cost nothing here. Commit order follows
+	// write order, which is deterministic because components step in
+	// registration order; commits are independent per register, so order
+	// does not affect behaviour.
+	visibleAt := e.cycle + 1
+	fns := e.commitFns
+	for _, i := range e.dirty {
+		fns[i](visibleAt)
 	}
+	e.dirty, e.spare = e.spare[:0], e.dirty[:0]
 	e.cycle++
 }
 
@@ -114,24 +160,36 @@ func (e *Engine) Run(n int64) {
 // writes become visible after the next commit. This gives order-independent
 // semantics between components in the same phase.
 type Reg[T any] struct {
-	cur, next     T
-	curOK, nextOK bool
-	written       bool
-	name          string
+	eng *Engine
+	idx int32 // index into the engine's commit-function table
+	// validAt is the single cycle during which cur is observable: a write
+	// committed at the end of cycle N is visible during cycle N+1 and
+	// expires by itself afterwards (links do not hold flits across idle
+	// cycles), without the register ever appearing on a second dirty list.
+	validAt   int64
+	cur, next T
+	written   bool
+	name      string
 }
 
-// NewReg creates a register attached to the engine's commit list.
+// NewReg creates a register attached to the engine.
 func NewReg[T any](e *Engine, name string) *Reg[T] {
-	r := &Reg[T]{name: name}
-	e.addReg(r)
+	r := &Reg[T]{eng: e, name: name, validAt: -1}
+	r.idx = e.addReg(r.commit)
 	return r
 }
 
 // Valid reports whether the register currently holds a value.
-func (r *Reg[T]) Valid() bool { return r.curOK }
+func (r *Reg[T]) Valid() bool { return r.validAt == r.eng.cycle }
 
 // Get returns the current value and whether it is valid.
-func (r *Reg[T]) Get() (T, bool) { return r.cur, r.curOK }
+func (r *Reg[T]) Get() (T, bool) {
+	if r.validAt == r.eng.cycle {
+		return r.cur, true
+	}
+	var zero T
+	return zero, false
+}
 
 // Set writes a value that becomes visible after the next commit. Writing a
 // register twice in one cycle is a wiring bug and panics.
@@ -139,15 +197,17 @@ func (r *Reg[T]) Set(v T) {
 	if r.written {
 		panic("sim: register " + r.name + " written twice in one cycle")
 	}
-	r.next, r.nextOK, r.written = v, true, true
+	r.next, r.written = v, true
+	r.eng.dirty = append(r.eng.dirty, r.idx)
 }
 
-// commit latches next into cur. A cycle with no write leaves the register
-// empty (invalid), i.e. links do not hold flits across idle cycles.
-func (r *Reg[T]) commit() {
-	r.cur, r.curOK = r.next, r.nextOK
-	var zero T
-	r.next, r.nextOK, r.written = zero, false, false
+// commit latches next into cur and stamps the cycle during which the value
+// is observable. Only written registers are committed; everything else
+// expires lazily through the stamp comparison in Valid/Get.
+func (r *Reg[T]) commit(visibleAt int64) {
+	r.cur = r.next
+	r.validAt = visibleAt
+	r.written = false
 }
 
 // FuncComponent adapts a function to the Component interface, handy in
