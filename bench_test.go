@@ -3,8 +3,8 @@
 // DESIGN.md's index; the rendered tables land in the benchmark log (-v),
 // and key scalar results are reported as custom metrics so -benchmem runs
 // record them. Absolute cycle counts are not comparable to the authors'
-// Xtensa testbed; the shapes are the reproduction target (EXPERIMENTS.md
-// records paper-vs-measured).
+// Xtensa testbed; the shapes are the reproduction target (DESIGN.md's
+// experiment index records what must hold).
 //
 // The benchmarks use the Quick fidelity grid; run cmd/medea-experiments
 // -full for the complete 168-point sweeps.
@@ -22,6 +22,7 @@ import (
 	"repro/internal/matmul"
 	"repro/internal/noc"
 	"repro/internal/pe"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/syncbench"
 )
@@ -334,6 +335,27 @@ func BenchmarkMultiMPMMU(b *testing.B) {
 			}
 			b.ReportMetric(float64(cyc), "cycles/iter")
 		})
+	}
+}
+
+// BenchmarkScenarioPatternSweep runs the shipped all-patterns scenario
+// through the declarative runner: 8 patterns x 3 loads x 2 seeds on the
+// 4x4 torus. It both times the scenario layer's batch overhead and keeps
+// the full pattern library exercised end-to-end.
+func BenchmarkScenarioPatternSweep(b *testing.B) {
+	s, err := scenario.Load("examples/scenarios/patterns-sweep.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + scenario.Table(results))
+			b.ReportMetric(float64(len(results)), "points")
+		}
 	}
 }
 

@@ -2,7 +2,7 @@
 // paper's evaluation (Figures 6-9 plus the hybrid-vs-shared-memory prose
 // analysis). Absolute cycle counts differ from the authors' Xtensa
 // testbed; the shapes — who wins, by what factor, where the knees fall —
-// are the reproduction targets (see EXPERIMENTS.md).
+// are the reproduction targets (see DESIGN.md's experiment index).
 //
 // Examples:
 //

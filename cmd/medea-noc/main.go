@@ -2,11 +2,13 @@
 // offered load for a chosen traffic pattern and prints latency, throughput
 // and deflection statistics for the deflection-routed switches and,
 // optionally, the buffered XY baseline. Output can be emitted as CSV for
-// plotting.
+// plotting. For multi-pattern or multi-seed sweeps use cmd/medea-scenarios
+// with a scenario file instead.
 //
 // Example:
 //
 //	medea-noc -w 4 -h 4 -pattern transpose -xy -csv transpose.csv
+//	medea-noc -pattern tornado -burst-on 25 -burst-off 75
 package main
 
 import (
@@ -25,24 +27,46 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("medea-noc: ")
 
-	w := flag.Int("w", 4, "torus width")
-	h := flag.Int("h", 4, "torus height")
-	pattern := flag.String("pattern", "uniform", "traffic: uniform | transpose | hotspot | neighbor")
-	hotspot := flag.Int("hotspot", 0, "hotspot destination node (hotspot pattern)")
-	cycles := flag.Int64("cycles", 5000, "cycles per load point")
-	seed := flag.Int64("seed", 1, "traffic seed")
-	withXY := flag.Bool("xy", false, "also run the buffered XY baseline")
+	w := flag.Int("w", 4, "torus width (>= 2)")
+	h := flag.Int("h", 4, "torus height (>= 2)")
+	pattern := flag.String("pattern", "uniform",
+		"traffic pattern, by name or index: "+strings.Join(noc.PatternNames(), " | "))
+	hotspot := flag.Int("hotspot", 0, "hotspot destination node (hotspot pattern only)")
+	cycles := flag.Int64("cycles", 5000, "simulated cycles per load point")
+	seed := flag.Int64("seed", 1, "traffic RNG seed (runs are deterministic per seed)")
+	burstOn := flag.Float64("burst-on", 0, "mean burst length in cycles for on/off modulated sources (0 = steady injection)")
+	burstOff := flag.Float64("burst-off", 0, "mean gap length in cycles between bursts (set with -burst-on)")
+	withXY := flag.Bool("xy", false, "also run the buffered XY dimension-order baseline")
 	csvPath := flag.String("csv", "", "write results as CSV to this file")
-	loads := flag.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "comma-separated offered loads (flits/node/cycle)")
+	loads := flag.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "comma-separated offered loads (flits/node/cycle, each in (0, 1])")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: medea-noc [flags]\n\nSweeps offered load for one synthetic traffic pattern on a WxH folded\ntorus and reports latency, throughput and deflection statistics.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	topo, err := noc.NewTopology(*w, *h)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pat, err := parsePattern(*pattern)
+	pat, err := noc.ParsePattern(*pattern)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := noc.ValidatePattern(pat, topo); err != nil {
+		log.Fatal(err)
+	}
+	if *hotspot < 0 || *hotspot >= topo.NumNodes() {
+		log.Fatalf("hotspot node %d outside the %dx%d torus (0..%d)",
+			*hotspot, *w, *h, topo.NumNodes()-1)
+	}
+	var burst *noc.BurstConfig
+	if *burstOn != 0 || *burstOff != 0 {
+		burst = &noc.BurstConfig{MeanOn: *burstOn, MeanOff: *burstOff}
+		if err := burst.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	var rates []float64
 	for _, s := range strings.Split(*loads, ",") {
@@ -55,9 +79,9 @@ func main() {
 
 	var rows []row
 	for _, rate := range rates {
-		r := measureDeflection(topo, pat, *hotspot, rate, *cycles, *seed)
+		r := measureDeflection(topo, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
 		if *withXY {
-			xl, xq, xt := measureXY(topo, pat, *hotspot, rate, *cycles, *seed)
+			xl, xq, xt := measureXY(topo, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
 			r.xyLatency, r.xyPeakQ, r.xyThroughput = xl, xq, xt
 			r.hasXY = true
 		}
@@ -65,7 +89,11 @@ func main() {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%dx%d folded torus, %v traffic, %d cycles/point\n", *w, *h, pat, *cycles)
+	desc := pat.String()
+	if burst != nil {
+		desc = fmt.Sprintf("bursty %s (on %g / off %g)", pat, burst.MeanOn, burst.MeanOff)
+	}
+	fmt.Fprintf(&b, "%dx%d folded torus, %s traffic, %d cycles/point\n", *w, *h, desc, *cycles)
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
 	head := "load\tthroughput\tlatency\tp-hops\tdeflections\t"
 	if *withXY {
@@ -109,13 +137,17 @@ type row struct {
 	xyPeakQ      int
 }
 
-func measureDeflection(topo noc.Topology, pat noc.Pattern, hot int, rate float64, cycles, seed int64) row {
+func trafficCfg(pat noc.Pattern, hot int, rate float64, burst *noc.BurstConfig) noc.TrafficConfig {
+	return noc.TrafficConfig{Pattern: pat, Rate: rate, HotspotNode: hot, Burst: burst}
+}
+
+func measureDeflection(topo noc.Topology, cfg noc.TrafficConfig, cycles, seed int64) row {
 	e := sim.NewEngine()
 	n := noc.NewNetwork(e, topo)
-	attachTraffic(e, topo, pat, hot, rate, seed, n.Attach)
+	attachTraffic(e, topo, cfg, seed, n.Attach)
 	e.Run(cycles)
 	return row{
-		load:        rate,
+		load:        cfg.Rate,
 		throughput:  float64(n.Stats.Delivered.Value()) / float64(cycles) / float64(topo.NumNodes()),
 		latency:     n.Stats.Latency.Mean(),
 		hops:        n.Stats.Hops.Mean(),
@@ -123,33 +155,19 @@ func measureDeflection(topo noc.Topology, pat noc.Pattern, hot int, rate float64
 	}
 }
 
-func measureXY(topo noc.Topology, pat noc.Pattern, hot int, rate float64, cycles, seed int64) (lat float64, peakQ int, thr float64) {
+func measureXY(topo noc.Topology, cfg noc.TrafficConfig, cycles, seed int64) (lat float64, peakQ int, thr float64) {
 	e := sim.NewEngine()
 	n := noc.NewXYNetwork(e, topo)
-	attachTraffic(e, topo, pat, hot, rate, seed, n.Attach)
+	attachTraffic(e, topo, cfg, seed, n.Attach)
 	e.Run(cycles)
 	return n.Stats.Latency.Mean(), n.PeakQueue(),
 		float64(n.Stats.Delivered.Value()) / float64(cycles) / float64(topo.NumNodes())
 }
 
-func attachTraffic(e *sim.Engine, topo noc.Topology, pat noc.Pattern, hot int, rate float64, seed int64, attach func(int, noc.LocalPort)) {
+func attachTraffic(e *sim.Engine, topo noc.Topology, cfg noc.TrafficConfig, seed int64, attach func(int, noc.LocalPort)) {
 	for i := 0; i < topo.NumNodes(); i++ {
-		tn := noc.NewTrafficNode(i, topo, noc.TrafficConfig{Pattern: pat, Rate: rate, HotspotNode: hot}, seed)
+		tn := noc.NewTrafficNode(i, topo, cfg, seed)
 		attach(i, tn)
 		e.Register(sim.PhaseNode, tn)
 	}
-}
-
-func parsePattern(s string) (noc.Pattern, error) {
-	switch s {
-	case "uniform":
-		return noc.Uniform, nil
-	case "transpose":
-		return noc.Transpose, nil
-	case "hotspot":
-		return noc.Hotspot, nil
-	case "neighbor":
-		return noc.Neighbor, nil
-	}
-	return 0, fmt.Errorf("unknown pattern %q", s)
 }

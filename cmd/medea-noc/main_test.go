@@ -6,27 +6,23 @@ import (
 	"repro/internal/noc"
 )
 
-func TestParsePattern(t *testing.T) {
-	cases := map[string]noc.Pattern{
-		"uniform":   noc.Uniform,
-		"transpose": noc.Transpose,
-		"hotspot":   noc.Hotspot,
-		"neighbor":  noc.Neighbor,
-	}
-	for in, want := range cases {
-		got, err := parsePattern(in)
-		if err != nil || got != want {
-			t.Errorf("parsePattern(%q) = %v, %v", in, got, err)
+// TestPatternFlagAcceptsAllNames pins the CLI contract: every pattern the
+// library defines resolves through the shared noc.ParsePattern (the old
+// four-name local parser is gone).
+func TestPatternFlagAcceptsAllNames(t *testing.T) {
+	for _, name := range noc.PatternNames() {
+		if _, err := noc.ParsePattern(name); err != nil {
+			t.Errorf("ParsePattern(%q): %v", name, err)
 		}
 	}
-	if _, err := parsePattern("x"); err == nil {
+	if _, err := noc.ParsePattern("x"); err == nil {
 		t.Error("bad pattern accepted")
 	}
 }
 
 func TestMeasureDeflectionProducesSaneRow(t *testing.T) {
 	topo, _ := noc.NewTopology(4, 4)
-	r := measureDeflection(topo, noc.Uniform, 0, 0.2, 2000, 7)
+	r := measureDeflection(topo, trafficCfg(noc.Uniform, 0, 0.2, nil), 2000, 7)
 	if r.throughput <= 0 || r.throughput > 1 {
 		t.Errorf("throughput %v out of range", r.throughput)
 	}
@@ -40,9 +36,20 @@ func TestMeasureDeflectionProducesSaneRow(t *testing.T) {
 	}
 }
 
+func TestMeasureDeflectionBursty(t *testing.T) {
+	topo, _ := noc.NewTopology(4, 4)
+	burst := &noc.BurstConfig{MeanOn: 25, MeanOff: 75}
+	full := measureDeflection(topo, trafficCfg(noc.Uniform, 0, 0.2, nil), 4000, 7)
+	gated := measureDeflection(topo, trafficCfg(noc.Uniform, 0, 0.2, burst), 4000, 7)
+	ratio := gated.throughput / full.throughput
+	if ratio < 0.15 || ratio > 0.40 {
+		t.Errorf("bursty/steady throughput ratio %.3f, want ~0.25", ratio)
+	}
+}
+
 func TestMeasureXYProducesSaneRow(t *testing.T) {
 	topo, _ := noc.NewTopology(4, 4)
-	lat, peak, thr := measureXY(topo, noc.Uniform, 0, 0.2, 2000, 7)
+	lat, peak, thr := measureXY(topo, trafficCfg(noc.Uniform, 0, 0.2, nil), 2000, 7)
 	if lat <= 0 || thr <= 0 || peak < 1 {
 		t.Errorf("bad xy row: lat=%v thr=%v peak=%d", lat, thr, peak)
 	}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/noc"
+)
+
+// TestGoldenFig8ViaCLI is the acceptance check for the scenario runner:
+// the shipped fig8-quick.json, run through the CLI in CSV mode, must
+// reproduce the Quick-fidelity Figure 8 sweep byte-identically.
+func TestGoldenFig8ViaCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full Fig8 sweeps")
+	}
+	var out strings.Builder
+	if err := run([]string{"-format", "csv", "../../examples/scenarios/fig8-quick.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := dse.Sweep(dse.Fig8Options(dse.Quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := dse.PointsCSV(pts); out.String() != want {
+		t.Errorf("CLI output diverges from dse.Fig8(Quick):\n--- cli ---\n%s--- dse ---\n%s",
+			out.String(), want)
+	}
+}
+
+// TestValidateAllExamples keeps every shipped scenario file loadable.
+func TestValidateAllExamples(t *testing.T) {
+	files, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(files) < 4 {
+		t.Fatalf("expected at least 4 example scenarios, got %v (%v)", files, err)
+	}
+	var out strings.Builder
+	if err := run(append([]string{"-validate"}, files...), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmokeScenarioRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"../../examples/scenarios/smoke.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pattern", "uniform", "tornado"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPatternsFlagListsEverything(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-patterns"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range noc.PatternNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-patterns output missing %q", name)
+		}
+	}
+}
+
+func TestOutFlagWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.csv")
+	var out strings.Builder
+	if err := run([]string{"-format", "csv", "-out", path, "../../examples/scenarios/smoke.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "pattern,rate,seed,") {
+		t.Errorf("unexpected CSV: %s", data)
+	}
+	if out.Len() != 0 {
+		t.Errorf("results leaked to stdout with -out: %q", out.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no arguments should fail")
+	}
+	if err := run([]string{"no-such-file.json"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-out", "x.csv", "a.json", "b.json"}, &out); err == nil {
+		t.Error("-out with two scenarios should fail")
+	}
+	// A bad -format must be rejected before any sweep runs.
+	if err := run([]string{"-format", "xml", "../../examples/scenarios/smoke.json"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-format") {
+		t.Errorf("bad -format not rejected up front: %v", err)
+	}
+}

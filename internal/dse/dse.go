@@ -6,13 +6,12 @@ package dse
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/jacobi"
+	"repro/internal/par"
 )
 
 // Point is one evaluated design-space configuration.
@@ -96,47 +95,25 @@ func Sweep(o Options) ([]Point, error) {
 	points := make([]Point, len(jobs))
 	errs := make([]error, len(jobs))
 
-	// A fixed worker pool of Parallelism goroutines pulls jobs from a
-	// channel: unlike the previous goroutine-per-job spawn gated by a
-	// semaphore, the goroutine count stays bounded no matter how large the
-	// sweep grid grows. Each slot of points/errs is written by exactly one
-	// job, so no further synchronization is needed.
-	par := o.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(jobs) {
-		par = len(jobs)
-	}
-	jobCh := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
-				spec := jacobi.Spec{N: o.N, Warmup: o.Warmup, Measured: o.Measured}
-				res, err := jacobi.Run(cfg, spec, o.Variant)
-				if err != nil {
-					errs[j.idx] = err
-					continue
-				}
-				points[j.idx] = Point{
-					Compute: j.cores, CacheKB: j.kb, Policy: j.policy,
-					CyclesPerIter: res.CyclesPerIteration,
-					MissRate:      res.MissRate,
-					AreaMM2:       Area(j.cores, j.kb, cfg.MPMMUCacheKB),
-					Label:         fmt.Sprintf("%dP_%dk$", j.cores, j.kb),
-				}
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
+	// Each slot of points/errs is written by exactly one job, so the
+	// fixed worker pool needs no further synchronization.
+	par.ForEach(len(jobs), o.Parallelism, func(i int) {
+		j := jobs[i]
+		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
+		spec := jacobi.Spec{N: o.N, Warmup: o.Warmup, Measured: o.Measured}
+		res, err := jacobi.Run(cfg, spec, o.Variant)
+		if err != nil {
+			errs[j.idx] = err
+			return
+		}
+		points[j.idx] = Point{
+			Compute: j.cores, CacheKB: j.kb, Policy: j.policy,
+			CyclesPerIter: res.CyclesPerIteration,
+			MissRate:      res.MissRate,
+			AreaMM2:       Area(j.cores, j.kb, cfg.MPMMUCacheKB),
+			Label:         fmt.Sprintf("%dP_%dk$", j.cores, j.kb),
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -33,14 +33,35 @@ func cachesFor(f Fidelity) []int {
 	return []int{2, 8, 16, 64}
 }
 
+// Fig6Options returns the exact sweep options behind Figure 6 at the
+// given fidelity, so other drivers (e.g. the scenario runner's golden
+// tests) can reproduce the figure numbers from a single source of truth.
+func Fig6Options(f Fidelity) Options {
+	o := DefaultOptions(60)
+	o.Cores = coresFor(f)
+	o.CachesKB = cachesFor(f)
+	return o
+}
+
+// Fig8Options returns the exact sweep options behind Figure 8 at the
+// given fidelity.
+func Fig8Options(f Fidelity) Options {
+	o := DefaultOptions(30)
+	o.Cores = coresFor(f)
+	o.Policies = []cache.Policy{cache.WriteBack}
+	if f == Full {
+		o.CachesKB = []int{2, 4, 8, 16, 32}
+	} else {
+		o.CachesKB = []int{2, 4, 16, 32}
+	}
+	return o
+}
+
 // Fig6 reproduces Figure 6: execution time for a 60x60 array varying the
 // number of cores, the cache size and the cache policy. It returns the
 // rendered table and the raw points (which Fig7 reuses).
 func Fig6(f Fidelity) (string, []Point, error) {
-	o := DefaultOptions(60)
-	o.Cores = coresFor(f)
-	o.CachesKB = cachesFor(f)
-	pts, err := Sweep(o)
+	pts, err := Sweep(Fig6Options(f))
 	if err != nil {
 		return "", nil, fmt.Errorf("fig6: %w", err)
 	}
@@ -59,15 +80,7 @@ func Fig7(points []Point) string {
 // Fig8 reproduces Figure 8: execution time for a 30x30 array, write-back
 // caches only, 2-32 kB.
 func Fig8(f Fidelity) (string, []Point, error) {
-	o := DefaultOptions(30)
-	o.Cores = coresFor(f)
-	o.Policies = []cache.Policy{cache.WriteBack}
-	if f == Full {
-		o.CachesKB = []int{2, 4, 8, 16, 32}
-	} else {
-		o.CachesKB = []int{2, 4, 16, 32}
-	}
-	pts, err := Sweep(o)
+	pts, err := Sweep(Fig8Options(f))
 	if err != nil {
 		return "", nil, fmt.Errorf("fig8: %w", err)
 	}

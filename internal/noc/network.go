@@ -24,6 +24,11 @@ type NetStats struct {
 	Latency   stats.Running // inject-to-eject cycles
 	Hops      stats.Running
 	Deflects  stats.Running // deflections per delivered flit
+
+	// LatencySample, when non-nil, additionally records every delivered
+	// flit's latency for exact percentile reporting. The scenario runner
+	// attaches one at the start of its measurement window.
+	LatencySample *stats.Sample
 }
 
 // NewNetwork builds a w x h folded torus of deflection switches, wires all
@@ -90,4 +95,7 @@ func (n *Network) noteDelivered(f flit.Flit, now int64) {
 	n.Stats.Latency.Observe(float64(now - f.Meta.InjectCycle))
 	n.Stats.Hops.Observe(float64(f.Meta.Hops))
 	n.Stats.Deflects.Observe(float64(f.Meta.Deflections))
+	if n.Stats.LatencySample != nil {
+		n.Stats.LatencySample.Observe(float64(now - f.Meta.InjectCycle))
+	}
 }

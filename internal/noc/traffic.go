@@ -25,6 +25,22 @@ const (
 	// Neighbor sends to the east neighbour, modelling nearest-neighbour
 	// halo exchange.
 	Neighbor
+	// BitComplement sends from (x, y) to (W-1-x, H-1-y): every flit
+	// crosses the bisection, the classic worst case for torus bandwidth.
+	BitComplement
+	// BitReversal sends node i to the node whose id is i's bit pattern
+	// reversed. Requires a power-of-two node count.
+	BitReversal
+	// Shuffle sends node i to rotate-left(i, 1) over log2(N) bits (the
+	// perfect-shuffle permutation). Requires a power-of-two node count.
+	Shuffle
+	// Tornado sends (x, y) to (x + ceil(W/2) - 1, y + ceil(H/2) - 1),
+	// wrapping: traffic chases itself half-way around each ring, the
+	// adversarial case for minimal adaptive routing on tori.
+	Tornado
+
+	// numPatterns counts the defined patterns (keep it last).
+	numPatterns
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +54,14 @@ func (p Pattern) String() string {
 		return "hotspot"
 	case Neighbor:
 		return "neighbor"
+	case BitComplement:
+		return "bit-complement"
+	case BitReversal:
+		return "bit-reversal"
+	case Shuffle:
+		return "shuffle"
+	case Tornado:
+		return "tornado"
 	}
 	return fmt.Sprintf("pattern(%d)", int(p))
 }
@@ -53,6 +77,10 @@ type TrafficConfig struct {
 	// QueueCap bounds the source queue; when full the generator throttles
 	// (counts a stall instead of queueing), like a real injection FIFO.
 	QueueCap int
+	// Burst, when non-nil, gates injection through a two-state on/off
+	// modulator: the node injects at Rate only while the modulator is in
+	// its on state. Composable with every Pattern.
+	Burst *BurstConfig
 }
 
 // TrafficNode is a synthetic traffic source/sink implementing LocalPort.
@@ -62,6 +90,7 @@ type TrafficNode struct {
 	topo  Topology
 	cfg   TrafficConfig
 	rng   *sim.RNG
+	burst *BurstModulator
 	outQ  *queue.FIFO[flit.Flit]
 	now   int64
 	pktID uint64
@@ -77,11 +106,18 @@ func NewTrafficNode(id int, topo Topology, cfg TrafficConfig, seed int64) *Traff
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
 	}
-	return &TrafficNode{
+	t := &TrafficNode{
 		id: id, topo: topo, cfg: cfg,
 		rng:  sim.NewRNG(seed ^ int64(id)*0x9E37),
 		outQ: queue.NewFIFO[flit.Flit](cfg.QueueCap),
 	}
+	if cfg.Burst != nil {
+		// The modulator draws from its own RNG stream so enabling bursts
+		// does not perturb the destination/injection stream of the base
+		// pattern beyond the gating itself.
+		t.burst = NewBurstModulator(*cfg.Burst, seed^int64(id)*0x9E37^0x5B75)
+	}
+	return t
 }
 
 // Name implements sim.Component.
@@ -90,6 +126,9 @@ func (t *TrafficNode) Name() string { return fmt.Sprintf("traffic(%d)", t.id) }
 // Step implements sim.Component.
 func (t *TrafficNode) Step(now int64) {
 	t.now = now
+	if t.burst != nil && !t.burst.Step() {
+		return
+	}
 	if !t.rng.Bernoulli(t.cfg.Rate) {
 		return
 	}
@@ -124,12 +163,13 @@ func (t *TrafficNode) destination() int {
 		}
 		return d
 	case Transpose:
-		x, y := t.topo.Coord(t.id)
-		return t.topo.ID(y%t.topo.W, x%t.topo.H)
+		return PermutationDest(Transpose, t.topo, t.id)
 	case Hotspot:
 		return t.cfg.HotspotNode
 	case Neighbor:
 		return t.topo.Neighbor(t.id, East)
+	case BitComplement, BitReversal, Shuffle, Tornado:
+		return PermutationDest(t.cfg.Pattern, t.topo, t.id)
 	}
 	panic("noc: unknown traffic pattern")
 }

@@ -1,0 +1,42 @@
+// Package par provides the fixed worker-pool parallel-for shared by the
+// sweep drivers (dse.Sweep, scenario.Run): a bounded number of goroutines
+// pulls indices from a channel, so the goroutine count stays constant no
+// matter how large the job grid grows.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on a fixed pool of workers
+// goroutines (workers <= 0 means GOMAXPROCS). It returns when all calls
+// have completed. fn must synchronize any shared state itself; writing
+// each i to its own slot of a pre-sized slice needs no synchronization.
+func ForEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -1,0 +1,28 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		counts := make([]int32, 37)
+		ForEach(len(counts), workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran with n=0")
+	}
+}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Render formats results in the named format (FormatTable, FormatCSV or
+// FormatJSON; "" means table).
+func Render(results []Result, format string) (string, error) {
+	switch format {
+	case "", FormatTable:
+		return Table(results), nil
+	case FormatCSV:
+		return CSV(results), nil
+	case FormatJSON:
+		return JSON(results)
+	}
+	return "", fmt.Errorf("scenario: unknown output format %q (have: %s, %s, %s)",
+		format, FormatTable, FormatCSV, FormatJSON)
+}
+
+// Table renders results as an aligned text table, one row per point.
+func Table(results []Result) string {
+	if len(results) == 0 {
+		return "(no points)\n"
+	}
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	if results[0].Workload == WorkloadJacobi {
+		fmt.Fprintln(w, "cores\tcache\tpolicy\tcycles/iter\tmiss%\tarea(mm2)\tspeedup\t")
+		for _, r := range results {
+			fmt.Fprintf(w, "%d\t%dkB\t%s\t%d\t%.1f\t%.2f\t%.2f\t\n",
+				r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, 100*r.MissRate, r.AreaMM2, r.Speedup)
+		}
+	} else {
+		fmt.Fprintln(w, "pattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tdelivered\t")
+		for _, r := range results {
+			name := r.Pattern
+			if r.Bursty {
+				name = "bursty+" + name
+			}
+			fmt.Fprintf(w, "%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t\n",
+				name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
+				r.DeflectionRate, r.Delivered)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSV renders results as CSV with a uniform header per workload.
+func CSV(results []Result) string {
+	var b strings.Builder
+	if len(results) > 0 && results[0].Workload == WorkloadJacobi {
+		// Same columns and formatting verbs as dse.PointsCSV, so a scenario
+		// that mirrors a figure sweep emits byte-identical numbers.
+		b.WriteString("compute,cache_kb,policy,cycles_per_iter,miss_rate,area_mm2,speedup\n")
+		for _, r := range results {
+			fmt.Fprintf(&b, "%d,%d,%v,%d,%.6f,%.3f,%.3f\n",
+				r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, r.MissRate, r.AreaMM2, r.Speedup)
+		}
+		return b.String()
+	}
+	b.WriteString("pattern,rate,seed,bursty,cycles,delivered,throughput,mean_latency,p99_latency,deflection_rate\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%g,%d,%t,%d,%d,%.6f,%.3f,%g,%.4f\n",
+			r.Pattern, r.Rate, r.Seed, r.Bursty, r.Cycles, r.Delivered,
+			r.Throughput, r.MeanLatency, r.P99Latency, r.DeflectionRate)
+	}
+	return b.String()
+}
+
+// nocJSON and jacobiJSON are the per-workload JSON projections of Result:
+// every field of the row's workload is always emitted — including
+// legitimate zeros like seed 0 or a 0.0 deflection rate, which omitempty
+// on the shared Result struct would silently drop — and nothing from the
+// other workload leaks in.
+type nocJSON struct {
+	Scenario       string  `json:"scenario"`
+	Workload       string  `json:"workload"`
+	Pattern        string  `json:"pattern"`
+	Rate           float64 `json:"rate"`
+	Seed           int64   `json:"seed"`
+	Bursty         bool    `json:"bursty"`
+	Cycles         int64   `json:"cycles"`
+	Delivered      int64   `json:"delivered"`
+	Throughput     float64 `json:"throughput"`
+	MeanLatency    float64 `json:"mean_latency"`
+	P99Latency     float64 `json:"p99_latency"`
+	DeflectionRate float64 `json:"deflection_rate"`
+}
+
+type jacobiJSON struct {
+	Scenario      string  `json:"scenario"`
+	Workload      string  `json:"workload"`
+	Cores         int     `json:"cores"`
+	CacheKB       int     `json:"cache_kb"`
+	Policy        string  `json:"policy"`
+	Variant       string  `json:"variant"`
+	CyclesPerIter int64   `json:"cycles_per_iter"`
+	MissRate      float64 `json:"miss_rate"`
+	AreaMM2       float64 `json:"area_mm2"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// JSON renders results as an indented JSON array, one object per point
+// with the full field set of its workload.
+func JSON(results []Result) (string, error) {
+	rows := make([]any, len(results))
+	for i, r := range results {
+		if r.Workload == WorkloadJacobi {
+			rows[i] = jacobiJSON{
+				Scenario: r.Scenario, Workload: r.Workload,
+				Cores: r.Cores, CacheKB: r.CacheKB, Policy: r.Policy, Variant: r.Variant,
+				CyclesPerIter: r.CyclesPerIter, MissRate: r.MissRate,
+				AreaMM2: r.AreaMM2, Speedup: r.Speedup,
+			}
+		} else {
+			rows[i] = nocJSON{
+				Scenario: r.Scenario, Workload: r.Workload,
+				Pattern: r.Pattern, Rate: r.Rate, Seed: r.Seed, Bursty: r.Bursty,
+				Cycles: r.Cycles, Delivered: r.Delivered, Throughput: r.Throughput,
+				MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
+				DeflectionRate: r.DeflectionRate,
+			}
+		}
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("scenario: rendering json: %w", err)
+	}
+	return string(out) + "\n", nil
+}
+
+// Summary renders a one-line header describing the scenario and its sweep
+// size, for CLI output above the result block.
+func Summary(s *Scenario) string {
+	var axes string
+	if s.Workload == WorkloadJacobi {
+		axes = fmt.Sprintf("%d cores x %d caches x %d policies",
+			len(s.Jacobi.Cores), len(s.Jacobi.CacheKB), max(1, len(s.Jacobi.Policies)))
+	} else {
+		axes = fmt.Sprintf("%d patterns x %d rates x %d seeds",
+			len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
+	}
+	return fmt.Sprintf("%s: %s workload, %s = %d points", s.Name, s.Workload, axes, s.NumPoints())
+}

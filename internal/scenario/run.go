@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dse"
+	"repro/internal/noc"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Result is one evaluated sweep point. NoC-synthetic points fill the
+// pattern/rate/seed axes and the network metrics; Jacobi points fill the
+// cores/cache/policy axes and the design-space metrics.
+type Result struct {
+	Scenario string `json:"scenario"`
+	Workload string `json:"workload"`
+
+	// NoC axes.
+	Pattern string  `json:"pattern,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	Bursty  bool    `json:"bursty,omitempty"`
+
+	// Jacobi axes.
+	Cores   int    `json:"cores,omitempty"`
+	CacheKB int    `json:"cache_kb,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	Variant string `json:"variant,omitempty"`
+
+	// NoC metrics, over the measurement window only.
+	Cycles         int64   `json:"cycles,omitempty"`     // measurement window length
+	Delivered      int64   `json:"delivered,omitempty"`  // flits ejected in the window
+	Throughput     float64 `json:"throughput,omitempty"` // delivered flits/node/cycle
+	MeanLatency    float64 `json:"mean_latency,omitempty"`
+	P99Latency     float64 `json:"p99_latency,omitempty"`
+	DeflectionRate float64 `json:"deflection_rate,omitempty"` // deflections per delivered flit
+
+	// Jacobi metrics.
+	CyclesPerIter int64   `json:"cycles_per_iter,omitempty"`
+	MissRate      float64 `json:"miss_rate,omitempty"`
+	AreaMM2       float64 `json:"area_mm2,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+}
+
+// Run executes the scenario's full sweep cross-product and returns one
+// Result per point, in deterministic axis order (independent of the
+// execution interleaving). The scenario must have passed Validate (Load
+// and Parse guarantee this).
+func Run(s *Scenario) ([]Result, error) {
+	switch s.Workload {
+	case WorkloadJacobi:
+		return runJacobi(s)
+	case WorkloadNoC:
+		return runNoC(s)
+	}
+	return nil, fmt.Errorf("scenario: unknown workload %q", s.Workload)
+}
+
+// runJacobi delegates to dse.Sweep so a scenario file and the hand-coded
+// figure sweeps produce identical numbers from one execution path (the
+// golden tests depend on this).
+func runJacobi(s *Scenario) ([]Result, error) {
+	c := s.Jacobi
+	variant, err := parseVariant(c.Variant)
+	if err != nil {
+		return nil, err
+	}
+	policies := make([]cache.Policy, 0, len(c.Policies))
+	for _, ps := range c.Policies {
+		p, err := parsePolicy(ps)
+		if err != nil {
+			return nil, err
+		}
+		policies = append(policies, p)
+	}
+	if len(policies) == 0 {
+		policies = []cache.Policy{cache.WriteBack}
+	}
+	warmup, measured := c.Warmup, c.Measured
+	if warmup == 0 && measured == 0 {
+		warmup, measured = 1, 1
+	}
+	points, err := dse.Sweep(dse.Options{
+		N:           c.N,
+		Cores:       c.Cores,
+		CachesKB:    c.CacheKB,
+		Policies:    policies,
+		Variant:     variant,
+		Warmup:      warmup,
+		Measured:    measured,
+		Parallelism: s.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	results := make([]Result, len(points))
+	for i, p := range points {
+		results[i] = Result{
+			Scenario:      s.Name,
+			Workload:      WorkloadJacobi,
+			Cores:         p.Compute,
+			CacheKB:       p.CacheKB,
+			Policy:        p.Policy.String(),
+			Variant:       variant.String(),
+			CyclesPerIter: p.CyclesPerIter,
+			MissRate:      p.MissRate,
+			AreaMM2:       p.AreaMM2,
+			Speedup:       p.Speedup,
+		}
+	}
+	return results, nil
+}
+
+// DSEPoints converts Jacobi results back to dse.Point rows, so scenario
+// output can reuse the dse table renderers and golden tests can compare
+// against dse.Sweep byte-for-byte.
+func DSEPoints(results []Result) []dse.Point {
+	points := make([]dse.Point, 0, len(results))
+	for _, r := range results {
+		if r.Workload != WorkloadJacobi {
+			continue
+		}
+		pol := cache.WriteBack
+		if r.Policy == cache.WriteThrough.String() {
+			pol = cache.WriteThrough
+		}
+		points = append(points, dse.Point{
+			Compute: r.Cores, CacheKB: r.CacheKB, Policy: pol,
+			CyclesPerIter: r.CyclesPerIter,
+			MissRate:      r.MissRate,
+			AreaMM2:       r.AreaMM2,
+			Speedup:       r.Speedup,
+			Label:         fmt.Sprintf("%dP_%dk$", r.Cores, r.CacheKB),
+		})
+	}
+	return points
+}
+
+// runNoC expands patterns x rates x seeds and executes each point on the
+// shared fixed worker pool (par.ForEach, as dse.Sweep does): every point
+// is an independent deterministic simulation, so each slot of the result
+// slice is written by exactly one job and the whole set is reproducible.
+func runNoC(s *Scenario) ([]Result, error) {
+	c := s.NoC
+	topo, err := noc.NewTopology(c.Width, c.Height)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		idx     int
+		pattern noc.Pattern
+		rate    float64
+		seed    int64
+	}
+	var jobs []job
+	for _, name := range c.Patterns {
+		p, err := noc.ParsePattern(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := noc.ValidatePattern(p, topo); err != nil {
+			return nil, err
+		}
+		for _, rate := range c.Rates {
+			for _, seed := range s.seedList() {
+				jobs = append(jobs, job{idx: len(jobs), pattern: p, rate: rate, seed: seed})
+			}
+		}
+	}
+	results := make([]Result, len(jobs))
+	par.ForEach(len(jobs), s.Parallelism, func(i int) {
+		j := jobs[i]
+		r := runNoCPoint(topo, c, j.pattern, j.rate, j.seed)
+		r.Scenario = s.Name
+		results[j.idx] = r
+	})
+	return results, nil
+}
+
+// runNoCPoint simulates one (pattern, rate, seed) point: warm up, then
+// measure over a fresh latency sample and counter snapshots so only
+// flits delivered inside the window count.
+func runNoCPoint(topo noc.Topology, c *NoCConfig, pattern noc.Pattern, rate float64, seed int64) Result {
+	warmup := c.WarmupCycles
+	measure := c.MeasureCycles
+	if measure == 0 {
+		measure = 5000
+	}
+	var burst *noc.BurstConfig
+	if c.Burst != nil {
+		burst = &noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}
+	}
+
+	e := sim.NewEngine()
+	n := noc.NewNetwork(e, topo)
+	for i := 0; i < topo.NumNodes(); i++ {
+		tn := noc.NewTrafficNode(i, topo, noc.TrafficConfig{
+			Pattern:     pattern,
+			Rate:        rate,
+			HotspotNode: c.HotspotNode,
+			QueueCap:    c.QueueCap,
+			Burst:       burst,
+		}, seed)
+		n.Attach(i, tn)
+		e.Register(sim.PhaseNode, tn)
+	}
+
+	e.Run(warmup)
+	sample := &stats.Sample{}
+	n.Stats.LatencySample = sample
+	delivered0 := n.Stats.Delivered.Value()
+	deflected0 := n.TotalDeflections()
+	e.Run(measure)
+
+	delivered := n.Stats.Delivered.Value() - delivered0
+	deflected := n.TotalDeflections() - deflected0
+	r := Result{
+		Workload:  WorkloadNoC,
+		Pattern:   pattern.String(),
+		Rate:      rate,
+		Seed:      seed,
+		Bursty:    burst != nil,
+		Cycles:    measure,
+		Delivered: delivered,
+		Throughput: float64(delivered) / float64(measure) /
+			float64(topo.NumNodes()),
+		MeanLatency: sample.Mean(),
+		P99Latency:  sample.Percentile(99),
+	}
+	if delivered > 0 {
+		r.DeflectionRate = float64(deflected) / float64(delivered)
+	}
+	return r
+}

@@ -1,0 +1,347 @@
+// Package scenario provides a declarative JSON experiment format and a
+// parallel batch runner for the MEDEA simulator. A scenario file names a
+// workload (the Jacobi application or synthetic NoC traffic), the sweep
+// axes (traffic patterns, injection rates and seeds, or core counts,
+// cache sizes and write policies), and the measurement windows; Run
+// executes the cross-product of the axes on a worker pool and returns one
+// Result per point, renderable as a table, CSV or JSON.
+//
+// The format exists so new experiments do not require new Go code: any
+// configuration the cmd/ binaries can reach by flags — and sweeps over
+// cross-products of them that the binaries cannot express — is one JSON
+// file away. See examples/scenarios/ for ready-to-run files and
+// cmd/medea-scenarios for the CLI driver.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/jacobi"
+	"repro/internal/noc"
+)
+
+// Workload names for Scenario.Workload.
+const (
+	// WorkloadJacobi runs the paper's Jacobi application on the full
+	// MEDEA system (cores + caches + MPMMU over the NoC).
+	WorkloadJacobi = "jacobi"
+	// WorkloadNoC runs synthetic traffic on the bare network.
+	WorkloadNoC = "noc-synthetic"
+)
+
+// Output format names for Scenario.Output and the CLI -format flag.
+const (
+	FormatTable = "table"
+	FormatCSV   = "csv"
+	FormatJSON  = "json"
+)
+
+// Scenario is the top-level declarative experiment description.
+type Scenario struct {
+	// Name identifies the scenario in result rows; Load defaults it to
+	// the file's base name.
+	Name string `json:"name,omitempty"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Workload selects what each point simulates: "jacobi" or
+	// "noc-synthetic".
+	Workload string `json:"workload"`
+
+	// NoC configures the noc-synthetic workload (required for it).
+	NoC *NoCConfig `json:"noc,omitempty"`
+	// Jacobi configures the jacobi workload (required for it).
+	Jacobi *JacobiConfig `json:"jacobi,omitempty"`
+
+	// Seeds lists explicit RNG seeds; each seed is one replication of
+	// every (pattern, rate) point. Mutually exclusive with Replications.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Replications runs seeds BaseSeed, BaseSeed+1, ... instead of an
+	// explicit list. Defaults to 1.
+	Replications int `json:"replications,omitempty"`
+	// BaseSeed is the first seed when Replications is used. Defaults to 1.
+	BaseSeed int64 `json:"base_seed,omitempty"`
+
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Output is the default rendering: "table" (default), "csv" or "json".
+	Output string `json:"output,omitempty"`
+}
+
+// NoCConfig describes a synthetic-traffic experiment on the bare network.
+type NoCConfig struct {
+	// Width and Height size the folded torus (both >= 2).
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Patterns lists traffic patterns by name (see noc.PatternNames);
+	// one sweep axis.
+	Patterns []string `json:"patterns"`
+	// Rates lists offered loads in flits/node/cycle, each in (0, 1];
+	// one sweep axis.
+	Rates []float64 `json:"rates"`
+	// HotspotNode is the destination for the hotspot pattern.
+	HotspotNode int `json:"hotspot_node,omitempty"`
+	// QueueCap bounds each source queue (default 16).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Burst, when present, gates every source through a two-state on/off
+	// modulator with the given mean burst/gap lengths in cycles.
+	Burst *BurstConfig `json:"burst,omitempty"`
+	// WarmupCycles run before measurement starts (default 0).
+	WarmupCycles int64 `json:"warmup_cycles,omitempty"`
+	// MeasureCycles is the measurement window (default 5000).
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+}
+
+// BurstConfig mirrors noc.BurstConfig in the JSON schema.
+type BurstConfig struct {
+	MeanOn  float64 `json:"mean_on"`
+	MeanOff float64 `json:"mean_off"`
+}
+
+// JacobiConfig describes a design-space sweep of the Jacobi workload.
+type JacobiConfig struct {
+	// N is the grid edge (the paper uses 16, 30 and 60).
+	N int `json:"n"`
+	// Variant is "hybrid-full" (default), "hybrid-sync" or "pure-sm".
+	Variant string `json:"variant,omitempty"`
+	// Cores lists compute-core counts; one sweep axis.
+	Cores []int `json:"cores"`
+	// CacheKB lists L1 sizes in kB; one sweep axis.
+	CacheKB []int `json:"cache_kb"`
+	// Policies lists write policies ("write-back"/"wb",
+	// "write-through"/"wt"); one sweep axis. Defaults to write-back.
+	Policies []string `json:"policies,omitempty"`
+	// Warmup and Measured are Jacobi iteration counts (default 1 each).
+	Warmup   int `json:"warmup,omitempty"`
+	Measured int `json:"measured,omitempty"`
+}
+
+// Load reads, parses and validates a scenario file. An empty Name is
+// defaulted from the file's base name.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	if s.Name == "" {
+		s.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return s, nil
+}
+
+// Parse decodes and validates a scenario from JSON bytes. Unknown fields
+// are rejected so typos fail loudly instead of silently running defaults.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("parsing: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("parsing: trailing data after the scenario object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the scenario for consistency and fills no defaults (the
+// runner applies defaults at execution time, so a validated scenario
+// round-trips through JSON unchanged).
+func (s *Scenario) Validate() error {
+	switch s.Workload {
+	case WorkloadJacobi, WorkloadNoC:
+	case "":
+		return fmt.Errorf(`missing "workload": set %q or %q`, WorkloadJacobi, WorkloadNoC)
+	default:
+		return fmt.Errorf("unknown workload %q (have: %q, %q)", s.Workload, WorkloadJacobi, WorkloadNoC)
+	}
+	switch s.Output {
+	case "", FormatTable, FormatCSV, FormatJSON:
+	default:
+		return fmt.Errorf("unknown output format %q (have: %s, %s, %s)",
+			s.Output, FormatTable, FormatCSV, FormatJSON)
+	}
+	if len(s.Seeds) > 0 && s.Replications > 0 {
+		return fmt.Errorf(`set either "seeds" or "replications", not both`)
+	}
+	if s.Replications < 0 {
+		return fmt.Errorf("replications must be >= 0, got %d", s.Replications)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("parallelism must be >= 0, got %d", s.Parallelism)
+	}
+
+	if s.Workload == WorkloadNoC {
+		if s.Jacobi != nil {
+			return fmt.Errorf(`the "jacobi" section has no effect on workload %q; remove it`, WorkloadNoC)
+		}
+		if s.NoC == nil {
+			return fmt.Errorf(`workload %q needs a "noc" section`, WorkloadNoC)
+		}
+		return s.NoC.validate()
+	}
+
+	// Jacobi.
+	if s.NoC != nil {
+		return fmt.Errorf(`the "noc" section has no effect on workload %q; remove it`, WorkloadJacobi)
+	}
+	if s.Jacobi == nil {
+		return fmt.Errorf(`workload %q needs a "jacobi" section`, WorkloadJacobi)
+	}
+	if len(s.Seeds) > 0 || s.Replications > 1 || s.BaseSeed != 0 {
+		return fmt.Errorf("the jacobi workload is fully deterministic: seeds/replications/base_seed have no effect; remove them")
+	}
+	return s.Jacobi.validate()
+}
+
+func (c *NoCConfig) validate() error {
+	topo, err := noc.NewTopology(c.Width, c.Height)
+	if err != nil {
+		return fmt.Errorf(`"noc": %w`, err)
+	}
+	if len(c.Patterns) == 0 {
+		return fmt.Errorf(`"noc.patterns" must list at least one of: %s`,
+			strings.Join(noc.PatternNames(), ", "))
+	}
+	seen := map[noc.Pattern]bool{}
+	for _, name := range c.Patterns {
+		p, err := noc.ParsePattern(name)
+		if err != nil {
+			return fmt.Errorf(`"noc.patterns": %w`, err)
+		}
+		if err := noc.ValidatePattern(p, topo); err != nil {
+			return fmt.Errorf(`"noc.patterns": %w`, err)
+		}
+		if seen[p] {
+			return fmt.Errorf(`"noc.patterns": %v listed twice`, p)
+		}
+		seen[p] = true
+	}
+	if len(c.Rates) == 0 {
+		return fmt.Errorf(`"noc.rates" must list at least one offered load in (0, 1]`)
+	}
+	for _, r := range c.Rates {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf(`"noc.rates": offered load %g outside (0, 1]`, r)
+		}
+	}
+	if c.HotspotNode < 0 || c.HotspotNode >= topo.NumNodes() {
+		return fmt.Errorf(`"noc.hotspot_node" %d outside the %dx%d torus (0..%d)`,
+			c.HotspotNode, c.Width, c.Height, topo.NumNodes()-1)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf(`"noc.queue_cap" must be >= 0, got %d`, c.QueueCap)
+	}
+	if c.Burst != nil {
+		if err := (noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}).Validate(); err != nil {
+			return fmt.Errorf(`"noc.burst": %w`, err)
+		}
+	}
+	if c.WarmupCycles < 0 {
+		return fmt.Errorf(`"noc.warmup_cycles" must be >= 0, got %d`, c.WarmupCycles)
+	}
+	if c.MeasureCycles < 0 {
+		return fmt.Errorf(`"noc.measure_cycles" must be >= 0, got %d`, c.MeasureCycles)
+	}
+	return nil
+}
+
+func (c *JacobiConfig) validate() error {
+	if c.N < 3 {
+		return fmt.Errorf(`"jacobi.n" must be >= 3 (the paper uses 16, 30 and 60), got %d`, c.N)
+	}
+	if _, err := parseVariant(c.Variant); err != nil {
+		return fmt.Errorf(`"jacobi.variant": %w`, err)
+	}
+	if len(c.Cores) == 0 {
+		return fmt.Errorf(`"jacobi.cores" must list at least one compute-core count`)
+	}
+	for _, n := range c.Cores {
+		if n < 2 || n > 15 {
+			return fmt.Errorf(`"jacobi.cores": %d outside the architecture's 2..15 range`, n)
+		}
+	}
+	if len(c.CacheKB) == 0 {
+		return fmt.Errorf(`"jacobi.cache_kb" must list at least one L1 size in kB`)
+	}
+	for _, kb := range c.CacheKB {
+		if kb <= 0 {
+			return fmt.Errorf(`"jacobi.cache_kb": %d must be positive`, kb)
+		}
+	}
+	for _, p := range c.Policies {
+		if _, err := parsePolicy(p); err != nil {
+			return fmt.Errorf(`"jacobi.policies": %w`, err)
+		}
+	}
+	if c.Warmup < 0 || c.Measured < 0 {
+		return fmt.Errorf(`"jacobi.warmup"/"jacobi.measured" must be >= 0`)
+	}
+	return nil
+}
+
+// seedList resolves the seed axis: explicit Seeds, or Replications seeds
+// counting up from BaseSeed (default one seed, 1).
+func (s *Scenario) seedList() []int64 {
+	if len(s.Seeds) > 0 {
+		return s.Seeds
+	}
+	base := s.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	n := s.Replications
+	if n == 0 {
+		n = 1
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}
+
+// NumPoints returns the size of the sweep cross-product.
+func (s *Scenario) NumPoints() int {
+	if s.Workload == WorkloadJacobi {
+		pols := len(s.Jacobi.Policies)
+		if pols == 0 {
+			pols = 1
+		}
+		return len(s.Jacobi.Cores) * len(s.Jacobi.CacheKB) * pols
+	}
+	return len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
+}
+
+func parseVariant(s string) (jacobi.Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "hybrid-full":
+		return jacobi.HybridFull, nil
+	case "hybrid-sync":
+		return jacobi.HybridSync, nil
+	case "pure-sm":
+		return jacobi.PureSM, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (have: hybrid-full, hybrid-sync, pure-sm)", s)
+}
+
+func parsePolicy(s string) (cache.Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "wb", "write-back", "writeback":
+		return cache.WriteBack, nil
+	case "wt", "write-through", "writethrough":
+		return cache.WriteThrough, nil
+	}
+	return 0, fmt.Errorf("unknown cache policy %q (have: write-back/wb, write-through/wt)", s)
+}

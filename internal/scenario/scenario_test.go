@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse([]byte(src))
+	if err == nil {
+		t.Fatalf("Parse accepted invalid scenario:\n%s", src)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Errorf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+const validNoC = `{
+	"name": "t",
+	"workload": "noc-synthetic",
+	"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.1]}
+}`
+
+func TestParseValid(t *testing.T) {
+	s := mustParse(t, validNoC)
+	if s.Workload != WorkloadNoC || s.NoC.Width != 4 {
+		t.Errorf("bad decode: %+v", s)
+	}
+	if s.NumPoints() != 1 {
+		t.Errorf("NumPoints = %d, want 1", s.NumPoints())
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unknown field", `{"workload": "noc-synthetic", "nocc": {}}`, "nocc"},
+		{"missing workload", `{"noc": {}}`, `missing "workload"`},
+		{"bad workload", `{"workload": "matmul"}`, "unknown workload"},
+		{"noc without section", `{"workload": "noc-synthetic"}`, `needs a "noc" section`},
+		{"jacobi without section", `{"workload": "jacobi"}`, `needs a "jacobi" section`},
+		{"wrong section", `{"workload": "jacobi",
+			"jacobi": {"n": 30, "cores": [2], "cache_kb": [16]},
+			"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.1]}}`,
+			"no effect"},
+		{"bad pattern", `{"workload": "noc-synthetic",
+			"noc": {"width": 4, "height": 4, "patterns": ["zigzag"], "rates": [0.1]}}`,
+			"unknown pattern"},
+		{"bit pattern on non-pow2", `{"workload": "noc-synthetic",
+			"noc": {"width": 5, "height": 3, "patterns": ["bit-reversal"], "rates": [0.1]}}`,
+			"power-of-two"},
+		{"duplicate pattern", `{"workload": "noc-synthetic",
+			"noc": {"width": 4, "height": 4, "patterns": ["uniform", "uniform"], "rates": [0.1]}}`,
+			"twice"},
+		{"bad rate", `{"workload": "noc-synthetic",
+			"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [1.5]}}`,
+			"outside (0, 1]"},
+		{"hotspot out of range", `{"workload": "noc-synthetic",
+			"noc": {"width": 4, "height": 4, "patterns": ["hotspot"], "rates": [0.1], "hotspot_node": 16}}`,
+			"hotspot_node"},
+		{"bad burst", `{"workload": "noc-synthetic",
+			"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.1],
+			        "burst": {"mean_on": 0, "mean_off": 10}}}`,
+			"burst"},
+		{"seeds and replications", `{"workload": "noc-synthetic", "seeds": [1], "replications": 2,
+			"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.1]}}`,
+			"not both"},
+		{"jacobi with seeds", `{"workload": "jacobi", "seeds": [1, 2],
+			"jacobi": {"n": 30, "cores": [2], "cache_kb": [16]}}`,
+			"deterministic"},
+		{"jacobi bad cores", `{"workload": "jacobi",
+			"jacobi": {"n": 30, "cores": [99], "cache_kb": [16]}}`,
+			"2..15"},
+		{"jacobi bad variant", `{"workload": "jacobi",
+			"jacobi": {"n": 30, "variant": "mpi", "cores": [2], "cache_kb": [16]}}`,
+			"unknown variant"},
+		{"jacobi bad policy", `{"workload": "jacobi",
+			"jacobi": {"n": 30, "cores": [2], "cache_kb": [16], "policies": ["lru"]}}`,
+			"unknown cache policy"},
+		{"bad output", `{"workload": "noc-synthetic", "output": "xml",
+			"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.1]}}`,
+			"output format"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { parseErr(t, c.src, c.wantSub) })
+	}
+}
+
+func TestSeedList(t *testing.T) {
+	s := mustParse(t, validNoC)
+	if got := s.seedList(); !reflect.DeepEqual(got, []int64{1}) {
+		t.Errorf("default seeds = %v, want [1]", got)
+	}
+	s.Replications = 3
+	s.BaseSeed = 10
+	if got := s.seedList(); !reflect.DeepEqual(got, []int64{10, 11, 12}) {
+		t.Errorf("replicated seeds = %v", got)
+	}
+	s.Seeds = []int64{5, 9}
+	if got := s.seedList(); !reflect.DeepEqual(got, []int64{5, 9}) {
+		t.Errorf("explicit seeds = %v", got)
+	}
+}
+
+func TestRunNoCDeterministicAndOrdered(t *testing.T) {
+	src := `{
+		"name": "det",
+		"workload": "noc-synthetic",
+		"noc": {"width": 4, "height": 4,
+		        "patterns": ["bit-complement", "shuffle", "bit-reversal", "tornado"],
+		        "rates": [0.1, 0.3], "warmup_cycles": 200, "measure_cycles": 1500},
+		"seeds": [3, 8]
+	}`
+	s := mustParse(t, src)
+	if s.NumPoints() != 16 {
+		t.Fatalf("NumPoints = %d, want 16", s.NumPoints())
+	}
+	r1, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallelism = 1 // different interleaving must not change anything
+	r2, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("results differ between parallel and serial execution")
+	}
+	// Axis order: patterns outermost, then rates, then seeds.
+	if r1[0].Pattern != "bit-complement" || r1[0].Rate != 0.1 || r1[0].Seed != 3 {
+		t.Errorf("first point = %+v", r1[0])
+	}
+	if r1[1].Seed != 8 || r1[2].Rate != 0.3 || r1[4].Pattern != "shuffle" {
+		t.Errorf("axis order broken: %+v %+v %+v", r1[1], r1[2], r1[4])
+	}
+	for _, r := range r1 {
+		if r.Delivered <= 0 || r.Throughput <= 0 || r.MeanLatency <= 0 {
+			t.Errorf("empty metrics in %+v", r)
+		}
+		if r.P99Latency < r.MeanLatency {
+			t.Errorf("p99 %.1f below mean %.1f in %+v", r.P99Latency, r.MeanLatency, r)
+		}
+	}
+}
+
+func TestRunBurstyScenario(t *testing.T) {
+	src := `{
+		"name": "bursty",
+		"workload": "noc-synthetic",
+		"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.4],
+		        "burst": {"mean_on": 25, "mean_off": 75}, "measure_cycles": 4000}
+	}`
+	bursty, err := Run(mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bursty, again) {
+		t.Error("bursty scenario not deterministic per seed")
+	}
+	plain, err := Run(mustParse(t, strings.Replace(src,
+		`"burst": {"mean_on": 25, "mean_off": 75}, `, "", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bursty[0].Bursty || plain[0].Bursty {
+		t.Error("Bursty flag not propagated")
+	}
+	ratio := bursty[0].Throughput / plain[0].Throughput
+	if ratio < 0.15 || ratio > 0.40 {
+		t.Errorf("bursty/plain throughput ratio %.3f, want ~0.25 (duty cycle)", ratio)
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	s := mustParse(t, validNoC)
+	results, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := Render(results, "")
+	if err != nil || !strings.Contains(table, "pattern") || !strings.Contains(table, "uniform") {
+		t.Errorf("table render: %v\n%s", err, table)
+	}
+	csv, err := Render(results, FormatCSV)
+	if err != nil || !strings.HasPrefix(csv, "pattern,rate,seed,") {
+		t.Errorf("csv render: %v\n%s", err, csv)
+	}
+	js, err := Render(results, FormatJSON)
+	if err != nil || !strings.Contains(js, `"workload": "noc-synthetic"`) {
+		t.Errorf("json render: %v\n%s", err, js)
+	}
+	if _, err := Render(results, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample collects raw observations for exact (nearest-rank) percentile
+// computation, unlike Histogram which trades accuracy for fixed memory.
+// The zero value is ready to use. Use it for bounded measurement windows
+// (e.g. the scenario runner's per-point latency samples) where the exact
+// p99 matters more than constant memory.
+type Sample struct {
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// Observe adds one observation.
+func (s *Sample) Observe(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Percentile returns the exact p-th percentile (0-100) by nearest rank,
+// or 0 with no observations. The sample is sorted lazily on first use
+// after new observations, so interleaving Observe and Percentile is
+// correct but re-sorts.
+func (s *Sample) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of range")
+	}
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank <= 0 {
+		rank = 1
+	}
+	return s.vals[rank-1]
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Sample) Max() float64 { return s.Percentile(100) }

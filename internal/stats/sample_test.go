@@ -1,0 +1,56 @@
+package stats
+
+import "testing"
+
+func TestSample(t *testing.T) {
+	var s Sample
+	if s.Count() != 0 || s.Mean() != 0 || s.Percentile(99) != 0 {
+		t.Error("zero-value Sample should report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 {
+		t.Errorf("count = %d, want 5", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("max = %v, want 5", got)
+	}
+	// Observing after a percentile query must re-sort.
+	s.Observe(10)
+	if got := s.Percentile(100); got != 10 {
+		t.Errorf("p100 after new observation = %v, want 10", got)
+	}
+}
+
+func TestSamplePercentileAgreesWithFreeFunction(t *testing.T) {
+	var s Sample
+	vals := []float64{9, 2, 7, 7, 1, 4, 8, 3}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		if got, want := s.Percentile(p), Percentile(vals, p); got != want {
+			t.Errorf("p%.0f = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSamplePercentileRangePanics(t *testing.T) {
+	var s Sample
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(101) should panic")
+		}
+	}()
+	s.Percentile(101)
+}

@@ -3,8 +3,8 @@
 // lock-based shared-memory barrier, and uncached-flag signalling. It
 // quantifies the paper's central claim — "low-latency synchronization is
 // hard to achieve through the memory hierarchy" — directly, without a
-// compute workload around it, and backs the T-2 analysis in
-// EXPERIMENTS.md with numbers.
+// compute workload around it, and backs the S-1 entry of DESIGN.md's
+// experiment index with numbers.
 package syncbench
 
 import (
