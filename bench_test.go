@@ -172,11 +172,35 @@ func BenchmarkDeflectionVsXY(b *testing.B) {
 			}
 			e.Run(cycles)
 			lat = n.Stats.Latency.Mean()
-			peak = n.PeakQueue()
+			peak = n.PeakBuffer()
 		}
 		b.ReportMetric(lat, "flit-latency-cycles")
 		b.ReportMetric(float64(peak), "buffer-flits")
 	})
+}
+
+// BenchmarkRouterAblation is the experiment R-1: all four routers under
+// identical adversarial transpose traffic, reporting per-router saturation
+// throughput and peak buffer occupancy. The ordering assertions live in
+// internal/scenario.TestRouterAblationOrdering; this benchmark records the
+// numbers behind them.
+func BenchmarkRouterAblation(b *testing.B) {
+	o := dse.DefaultRouterAblationOptions()
+	for i := 0; i < b.N; i++ {
+		points, err := dse.RouterAblation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + dse.RouterAblationTable(o, points))
+			sat := dse.SaturationThroughput(points)
+			peak := dse.PeakBufferByRouter(points)
+			for _, kind := range noc.AllRouters() {
+				b.ReportMetric(sat[kind], kind.String()+"-sat-throughput")
+				b.ReportMetric(float64(peak[kind]), kind.String()+"-peak-buffer")
+			}
+		}
+	}
 }
 
 // BenchmarkArbiterVariants is the ablation A-2: the three NoC-access

@@ -1,88 +1,120 @@
 // Command medea-noc characterizes the bare network-on-chip: it sweeps the
-// offered load for a chosen traffic pattern and prints latency, throughput
-// and deflection statistics for the deflection-routed switches and,
-// optionally, the buffered XY baseline. Output can be emitted as CSV for
-// plotting. For multi-pattern or multi-seed sweeps use cmd/medea-scenarios
-// with a scenario file instead.
+// offered load for a chosen traffic pattern and router and prints latency,
+// throughput, deflection and buffer statistics; optionally the buffered XY
+// baseline runs alongside for a direct comparison. Output can be emitted
+// as CSV for plotting. For multi-pattern, multi-router or multi-seed
+// sweeps use cmd/medea-scenarios with a scenario file instead.
 //
 // Example:
 //
 //	medea-noc -w 4 -h 4 -pattern transpose -xy -csv transpose.csv
-//	medea-noc -pattern tornado -burst-on 25 -burst-off 75
+//	medea-noc -router wormhole -pattern tornado -burst-on 25 -burst-off 75
+//	medea-noc -router adaptive -loads 0.1,0.3,0.5
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/noc"
-	"repro/internal/sim"
 )
+
+// errUsage signals that the flag package already reported the problem and
+// printed usage; main must not log it a second time.
+var errUsage = errors.New("medea-noc: bad arguments")
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("medea-noc: ")
-
-	w := flag.Int("w", 4, "torus width (>= 2)")
-	h := flag.Int("h", 4, "torus height (>= 2)")
-	pattern := flag.String("pattern", "uniform",
-		"traffic pattern, by name or index: "+strings.Join(noc.PatternNames(), " | "))
-	hotspot := flag.Int("hotspot", 0, "hotspot destination node (hotspot pattern only)")
-	cycles := flag.Int64("cycles", 5000, "simulated cycles per load point")
-	seed := flag.Int64("seed", 1, "traffic RNG seed (runs are deterministic per seed)")
-	burstOn := flag.Float64("burst-on", 0, "mean burst length in cycles for on/off modulated sources (0 = steady injection)")
-	burstOff := flag.Float64("burst-off", 0, "mean gap length in cycles between bursts (set with -burst-on)")
-	withXY := flag.Bool("xy", false, "also run the buffered XY dimension-order baseline")
-	csvPath := flag.String("csv", "", "write results as CSV to this file")
-	loads := flag.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "comma-separated offered loads (flits/node/cycle, each in (0, 1])")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: medea-noc [flags]\n\nSweeps offered load for one synthetic traffic pattern on a WxH folded\ntorus and reports latency, throughput and deflection statistics.\n\nFlags:\n")
-		flag.PrintDefaults()
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		log.Fatal(err)
 	}
-	flag.Parse()
+}
+
+// run executes the CLI against args, writing the result table to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("medea-noc", flag.ContinueOnError)
+	w := fs.Int("w", 4, "torus width (>= 2)")
+	h := fs.Int("h", 4, "torus height (>= 2)")
+	pattern := fs.String("pattern", "uniform",
+		"traffic pattern, by name or index: "+strings.Join(noc.PatternNames(), " | "))
+	router := fs.String("router", "deflection",
+		"router algorithm, by name or index: "+strings.Join(noc.RouterNames(), " | "))
+	hotspot := fs.Int("hotspot", 0, "hotspot destination node (hotspot pattern only)")
+	cycles := fs.Int64("cycles", 5000, "simulated cycles per load point")
+	seed := fs.Int64("seed", 1, "traffic RNG seed (runs are deterministic per seed)")
+	burstOn := fs.Float64("burst-on", 0, "mean burst length in cycles for on/off modulated sources (0 = steady injection)")
+	burstOff := fs.Float64("burst-off", 0, "mean gap length in cycles between bursts (set with -burst-on)")
+	withXY := fs.Bool("xy", false, "also run the buffered XY dimension-order baseline")
+	csvPath := fs.String("csv", "", "write results as CSV to this file")
+	loads := fs.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "comma-separated offered loads (flits/node/cycle, each in (0, 1])")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(),
+			"usage: medea-noc [flags]\n\nSweeps offered load for one synthetic traffic pattern and router on a\nWxH folded torus and reports latency, throughput, deflection and buffer\nstatistics.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -help: usage already printed, exit clean
+		}
+		return errUsage // parse error: flag already printed error + usage
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
 
 	topo, err := noc.NewTopology(*w, *h)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pat, err := noc.ParsePattern(*pattern)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := noc.ValidatePattern(pat, topo); err != nil {
-		log.Fatal(err)
+		return err
+	}
+	kind, err := noc.ParseRouter(*router)
+	if err != nil {
+		return err
 	}
 	if *hotspot < 0 || *hotspot >= topo.NumNodes() {
-		log.Fatalf("hotspot node %d outside the %dx%d torus (0..%d)",
+		return fmt.Errorf("hotspot node %d outside the %dx%d torus (0..%d)",
 			*hotspot, *w, *h, topo.NumNodes()-1)
+	}
+	if *cycles <= 0 {
+		return fmt.Errorf("-cycles must be > 0, got %d", *cycles)
 	}
 	var burst *noc.BurstConfig
 	if *burstOn != 0 || *burstOff != 0 {
 		burst = &noc.BurstConfig{MeanOn: *burstOn, MeanOff: *burstOff}
 		if err := burst.Validate(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	var rates []float64
-	for _, s := range strings.Split(*loads, ",") {
-		var r float64
-		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &r); err != nil || r <= 0 || r > 1 {
-			log.Fatalf("bad load %q", s)
-		}
-		rates = append(rates, r)
+	rates, err := parseLoads(*loads)
+	if err != nil {
+		return err
 	}
 
 	var rows []row
 	for _, rate := range rates {
-		r := measureDeflection(topo, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
+		r := measureRouter(topo, kind, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
 		if *withXY {
-			xl, xq, xt := measureXY(topo, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
-			r.xyLatency, r.xyPeakQ, r.xyThroughput = xl, xq, xt
+			x := measureRouter(topo, noc.RouterXY, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
+			r.xyLatency, r.xyPeakBuf, r.xyThroughput = x.latency, x.peakBuf, x.throughput
 			r.hasXY = true
 		}
 		rows = append(rows, r)
@@ -93,81 +125,90 @@ func main() {
 	if burst != nil {
 		desc = fmt.Sprintf("bursty %s (on %g / off %g)", pat, burst.MeanOn, burst.MeanOff)
 	}
-	fmt.Fprintf(&b, "%dx%d folded torus, %s traffic, %d cycles/point\n", *w, *h, desc, *cycles)
+	fmt.Fprintf(&b, "%dx%d folded torus, %s traffic, %s router, %d cycles/point\n", *w, *h, desc, kind, *cycles)
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
-	head := "load\tthroughput\tlatency\tp-hops\tdeflections\t"
+	head := "load\tthroughput\tlatency\tp99\thops\tdeflections\tpeak-buf\t"
 	if *withXY {
-		head += "xy-throughput\txy-latency\txy-peakQ\t"
+		head += "xy-throughput\txy-latency\txy-peak-buf\t"
 	}
 	fmt.Fprintln(tw, head)
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%.2f\t%.3f\t%.1f\t%.1f\t%d\t", r.load, r.throughput, r.latency, r.hops, r.deflections)
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.1f\t%.0f\t%.1f\t%d\t%d\t",
+			r.load, r.throughput, r.latency, r.p99, r.hops, r.deflections, r.peakBuf)
 		if r.hasXY {
-			fmt.Fprintf(tw, "%.3f\t%.1f\t%d\t", r.xyThroughput, r.xyLatency, r.xyPeakQ)
+			fmt.Fprintf(tw, "%.3f\t%.1f\t%d\t", r.xyThroughput, r.xyLatency, r.xyPeakBuf)
 		}
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
-	fmt.Print(b.String())
+	fmt.Fprint(stdout, b.String())
 
 	if *csvPath != "" {
 		var c strings.Builder
-		c.WriteString("load,throughput,latency,hops,deflections,xy_throughput,xy_latency,xy_peak_queue\n")
+		c.WriteString("load,router,throughput,latency,p99,hops,deflections,peak_buffer,xy_throughput,xy_latency,xy_peak_buffer\n")
 		for _, r := range rows {
-			fmt.Fprintf(&c, "%g,%g,%g,%g,%d,%g,%g,%d\n",
-				r.load, r.throughput, r.latency, r.hops, r.deflections,
-				r.xyThroughput, r.xyLatency, r.xyPeakQ)
+			fmt.Fprintf(&c, "%g,%s,%g,%g,%g,%g,%d,%d,%g,%g,%d\n",
+				r.load, kind, r.throughput, r.latency, r.p99, r.hops, r.deflections,
+				r.peakBuf, r.xyThroughput, r.xyLatency, r.xyPeakBuf)
 		}
 		if err := os.WriteFile(*csvPath, []byte(c.String()), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("wrote %s", *csvPath)
 	}
+	return nil
+}
+
+// parseLoads parses and validates the -loads flag: every offered load must
+// be a clean float in (0, 1] (a rate is a per-node injection probability;
+// negative or >1 rates used to be accepted silently and simulate garbage).
+func parseLoads(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q in -loads: %v", part, err)
+		}
+		if r <= 0 || r > 1 {
+			return nil, fmt.Errorf("load %g in -loads outside (0, 1]: an offered load is a per-node injection probability per cycle", r)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-loads must list at least one offered load in (0, 1]")
+	}
+	return rates, nil
 }
 
 type row struct {
 	load         float64
 	throughput   float64 // delivered flits/node/cycle
 	latency      float64
+	p99          float64
 	hops         float64
 	deflections  int64
+	peakBuf      int
 	hasXY        bool
 	xyThroughput float64
 	xyLatency    float64
-	xyPeakQ      int
+	xyPeakBuf    int
 }
 
 func trafficCfg(pat noc.Pattern, hot int, rate float64, burst *noc.BurstConfig) noc.TrafficConfig {
 	return noc.TrafficConfig{Pattern: pat, Rate: rate, HotspotNode: hot, Burst: burst}
 }
 
-func measureDeflection(topo noc.Topology, cfg noc.TrafficConfig, cycles, seed int64) row {
-	e := sim.NewEngine()
-	n := noc.NewNetwork(e, topo)
-	attachTraffic(e, topo, cfg, seed, n.Attach)
-	e.Run(cycles)
+func measureRouter(topo noc.Topology, kind noc.RouterKind, cfg noc.TrafficConfig, cycles, seed int64) row {
+	m := noc.Measure(topo, noc.MeasureConfig{
+		Router: kind, Traffic: cfg, Measure: cycles, Seed: seed,
+	})
 	return row{
 		load:        cfg.Rate,
-		throughput:  float64(n.Stats.Delivered.Value()) / float64(cycles) / float64(topo.NumNodes()),
-		latency:     n.Stats.Latency.Mean(),
-		hops:        n.Stats.Hops.Mean(),
-		deflections: n.TotalDeflections(),
-	}
-}
-
-func measureXY(topo noc.Topology, cfg noc.TrafficConfig, cycles, seed int64) (lat float64, peakQ int, thr float64) {
-	e := sim.NewEngine()
-	n := noc.NewXYNetwork(e, topo)
-	attachTraffic(e, topo, cfg, seed, n.Attach)
-	e.Run(cycles)
-	return n.Stats.Latency.Mean(), n.PeakQueue(),
-		float64(n.Stats.Delivered.Value()) / float64(cycles) / float64(topo.NumNodes())
-}
-
-func attachTraffic(e *sim.Engine, topo noc.Topology, cfg noc.TrafficConfig, seed int64, attach func(int, noc.LocalPort)) {
-	for i := 0; i < topo.NumNodes(); i++ {
-		tn := noc.NewTrafficNode(i, topo, cfg, seed)
-		attach(i, tn)
-		e.Register(sim.PhaseNode, tn)
+		throughput:  m.Throughput,
+		latency:     m.MeanLatency,
+		p99:         m.P99Latency,
+		hops:        m.MeanHops,
+		deflections: m.Deflections,
+		peakBuf:     m.PeakBuffer,
 	}
 }

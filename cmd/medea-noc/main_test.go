@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/noc"
@@ -20,9 +23,63 @@ func TestPatternFlagAcceptsAllNames(t *testing.T) {
 	}
 }
 
-func TestMeasureDeflectionProducesSaneRow(t *testing.T) {
+// TestRouterFlagAcceptsAllNames does the same for the router axis.
+func TestRouterFlagAcceptsAllNames(t *testing.T) {
+	for _, name := range noc.RouterNames() {
+		var out strings.Builder
+		if err := run([]string{"-router", name, "-loads", "0.1", "-cycles", "200"}, &out); err != nil {
+			t.Errorf("-router %s: %v", name, err)
+		}
+		if !strings.Contains(out.String(), name+" router") {
+			t.Errorf("-router %s: header does not name the router:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRateValidation pins the -loads fix: negative, zero, >1 and
+// non-numeric offered loads must be rejected with a usage error instead of
+// silently simulating garbage.
+func TestRateValidation(t *testing.T) {
+	for _, bad := range []string{"-0.2", "0", "1.5", "0.2,2.0", "abc", "0.5x", "", "0.3,,0.4"} {
+		var out strings.Builder
+		err := run([]string{"-loads", bad, "-cycles", "100"}, &out)
+		if err == nil {
+			t.Errorf("-loads %q accepted; want a usage error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "load") {
+			t.Errorf("-loads %q: error %q does not mention the load", bad, err)
+		}
+	}
+	// The happy path still works, including whitespace.
+	var out strings.Builder
+	if err := run([]string{"-loads", " 0.05, 0.1 ", "-cycles", "100"}, &out); err != nil {
+		t.Errorf("valid -loads rejected: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{"-w", "1"},          // degenerate torus
+		{"-pattern", "nope"}, // unknown pattern
+		{"-router", "nope"},  // unknown router
+		{"-hotspot", "99"},   // hotspot off the torus
+		{"-cycles", "0"},     // empty measurement window
+		{"-burst-on", "5"},   // burst-off missing (< 1 cycle)
+		{"-pattern", "shuffle", "-w", "3", "-h", "3"}, // bit pattern needs pow2 nodes
+		{"positional"}, // stray argument
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted; want error", args)
+		}
+	}
+}
+
+func TestMeasureRouterProducesSaneRow(t *testing.T) {
 	topo, _ := noc.NewTopology(4, 4)
-	r := measureDeflection(topo, trafficCfg(noc.Uniform, 0, 0.2, nil), 2000, 7)
+	r := measureRouter(topo, noc.RouterDeflection, trafficCfg(noc.Uniform, 0, 0.2, nil), 2000, 7)
 	if r.throughput <= 0 || r.throughput > 1 {
 		t.Errorf("throughput %v out of range", r.throughput)
 	}
@@ -34,13 +91,16 @@ func TestMeasureDeflectionProducesSaneRow(t *testing.T) {
 	if r.throughput < 0.16 {
 		t.Errorf("throughput %v far below offered 0.2", r.throughput)
 	}
+	if r.peakBuf != 0 {
+		t.Errorf("deflection router reported %d buffered flits", r.peakBuf)
+	}
 }
 
-func TestMeasureDeflectionBursty(t *testing.T) {
+func TestMeasureRouterBursty(t *testing.T) {
 	topo, _ := noc.NewTopology(4, 4)
 	burst := &noc.BurstConfig{MeanOn: 25, MeanOff: 75}
-	full := measureDeflection(topo, trafficCfg(noc.Uniform, 0, 0.2, nil), 4000, 7)
-	gated := measureDeflection(topo, trafficCfg(noc.Uniform, 0, 0.2, burst), 4000, 7)
+	full := measureRouter(topo, noc.RouterDeflection, trafficCfg(noc.Uniform, 0, 0.2, nil), 4000, 7)
+	gated := measureRouter(topo, noc.RouterDeflection, trafficCfg(noc.Uniform, 0, 0.2, burst), 4000, 7)
 	ratio := gated.throughput / full.throughput
 	if ratio < 0.15 || ratio > 0.40 {
 		t.Errorf("bursty/steady throughput ratio %.3f, want ~0.25", ratio)
@@ -49,8 +109,26 @@ func TestMeasureDeflectionBursty(t *testing.T) {
 
 func TestMeasureXYProducesSaneRow(t *testing.T) {
 	topo, _ := noc.NewTopology(4, 4)
-	lat, peak, thr := measureXY(topo, trafficCfg(noc.Uniform, 0, 0.2, nil), 2000, 7)
-	if lat <= 0 || thr <= 0 || peak < 1 {
-		t.Errorf("bad xy row: lat=%v thr=%v peak=%d", lat, thr, peak)
+	r := measureRouter(topo, noc.RouterXY, trafficCfg(noc.Uniform, 0, 0.2, nil), 2000, 7)
+	if r.latency <= 0 || r.throughput <= 0 || r.peakBuf < 1 {
+		t.Errorf("bad xy row: lat=%v thr=%v peak=%d", r.latency, r.throughput, r.peakBuf)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var out strings.Builder
+	if err := run([]string{"-loads", "0.1", "-cycles", "300", "-router", "wormhole", "-csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "load,router,") {
+		t.Errorf("unexpected CSV header: %s", data)
+	}
+	if !strings.Contains(string(data), "wormhole") {
+		t.Errorf("CSV does not name the router: %s", data)
 	}
 }

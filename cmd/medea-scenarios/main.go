@@ -10,6 +10,7 @@
 //	medea-scenarios -format csv -out fig8.csv examples/scenarios/fig8-quick.json
 //	medea-scenarios -validate examples/scenarios/*.json
 //	medea-scenarios -patterns
+//	medea-scenarios -routers
 package main
 
 import (
@@ -42,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	par := fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS); overrides the scenario file")
 	validate := fs.Bool("validate", false, "load and validate the scenario files without running them")
 	patterns := fs.Bool("patterns", false, "list the available traffic patterns and exit")
+	routers := fs.Bool("routers", false, "list the available router algorithms and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: medea-scenarios [flags] scenario.json [scenario.json ...]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs declarative scenario files (see examples/scenarios/ and the\n")
@@ -62,6 +64,10 @@ func run(args []string, stdout io.Writer) error {
 
 	if *patterns {
 		fmt.Fprintf(stdout, "%s\n", strings.Join(noc.PatternNames(), "\n"))
+		return nil
+	}
+	if *routers {
+		fmt.Fprintf(stdout, "%s\n", strings.Join(noc.RouterNames(), "\n"))
 		return nil
 	}
 	if fs.NArg() == 0 {

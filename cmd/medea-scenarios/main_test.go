@@ -67,6 +67,18 @@ func TestPatternsFlagListsEverything(t *testing.T) {
 	}
 }
 
+func TestRoutersFlagListsEverything(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-routers"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range noc.RouterNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-routers output missing %q", name)
+		}
+	}
+}
+
 func TestOutFlagWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "r.csv")
 	var out strings.Builder

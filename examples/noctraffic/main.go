@@ -28,7 +28,7 @@ func main() {
 	}
 	for _, pattern := range []noc.Pattern{noc.Uniform, noc.Transpose} {
 		fmt.Printf("pattern: %v (4x4 folded torus, %d cycles per point)\n", pattern, warmCycles)
-		fmt.Printf("  %-8s %-22s %-22s\n", "load", "deflection (lat/defl)", "XY buffered (lat/peakQ)")
+		fmt.Printf("  %-8s %-22s %-22s\n", "load", "deflection (lat/defl)", "XY buffered (lat/peak-buf)")
 		for _, rate := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
 			dLat, defl := runDeflection(topo, pattern, rate)
 			xLat, peak := runXY(topo, pattern, rate)
@@ -62,5 +62,5 @@ func runXY(topo noc.Topology, p noc.Pattern, rate float64) (meanLat float64, pea
 		e.Register(sim.PhaseNode, tn)
 	}
 	e.Run(warmCycles)
-	return n.Stats.Latency.Mean(), n.PeakQueue()
+	return n.Stats.Latency.Mean(), n.PeakBuffer()
 }

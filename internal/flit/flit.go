@@ -196,6 +196,11 @@ type Meta struct {
 	Hops        int32  // links traversed so far
 	Deflections int32  // unproductive hops so far
 	PacketID    uint64 // unique logical-packet id for integrity checks
+	// VC is the virtual channel the flit occupies on its current link.
+	// Only the wormhole router uses it (a real implementation carries it
+	// as link sideband wiring, not in the flit format); all other routers
+	// leave it zero.
+	VC uint8
 }
 
 // BurstLen returns the logical packet length in flits encoded in the flit's

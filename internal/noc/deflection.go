@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/flit"
-	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -20,13 +19,7 @@ import (
 // the local node happens only when an output port is left free after all
 // incoming flits are placed.
 type DeflSwitch struct {
-	id    int
-	x, y  int
-	topo  Topology
-	in    [NumPorts]*sim.Reg[flit.Flit]
-	out   [NumPorts]*sim.Reg[flit.Flit]
-	local LocalPort
-	net   *Network
+	routerPorts
 
 	// scratch buffers reused across cycles to avoid allocation.
 	pool  []routedFlit
@@ -53,8 +46,17 @@ type routedFlit struct {
 // Name implements sim.Component.
 func (s *DeflSwitch) Name() string { return fmt.Sprintf("sw(%d,%d)", s.x, s.y) }
 
-// ID returns the switch's node id.
-func (s *DeflSwitch) ID() int { return s.id }
+// Buffered implements Router; the deflection switch stores nothing.
+func (s *DeflSwitch) Buffered() int { return 0 }
+
+// PeakBuffered implements Router; the deflection switch stores nothing.
+func (s *DeflSwitch) PeakBuffered() int { return 0 }
+
+// Deflections implements Router.
+func (s *DeflSwitch) Deflections() int64 { return s.Stats.Deflected.Value() }
+
+// EjectedCount implements Router.
+func (s *DeflSwitch) EjectedCount() int64 { return s.Stats.Ejected.Value() }
 
 // Step implements sim.Component; it runs in sim.PhaseSwitch.
 func (s *DeflSwitch) Step(now int64) {

@@ -115,7 +115,7 @@ func TestInjectionGatedBySaturation(t *testing.T) {
 		}
 	}})
 	e.Run(14)
-	sw := n.Switches[mid]
+	sw := n.Routers[mid].(*DeflSwitch)
 	if sw.Stats.Injected.Value() != 0 {
 		t.Error("injection succeeded through a saturated switch")
 	}
@@ -148,7 +148,7 @@ func TestAtDestinationDeflectionReturns(t *testing.T) {
 
 func TestSwitchNamesAndIDs(t *testing.T) {
 	h := newHarness(t)
-	for id, sw := range h.n.Switches {
+	for id, sw := range h.n.Routers {
 		if sw.ID() != id {
 			t.Fatalf("switch %d reports id %d", id, sw.ID())
 		}

@@ -1,0 +1,59 @@
+package noc
+
+import "testing"
+
+// FuzzParsePattern: any input must either resolve to a defined pattern or
+// return an error — never panic — and a successful parse must round-trip
+// through the canonical name.
+func FuzzParsePattern(f *testing.F) {
+	for _, name := range PatternNames() {
+		f.Add(name)
+	}
+	f.Add("BIT_COMPLEMENT")
+	f.Add(" transpose ")
+	f.Add("7")
+	f.Add("-1")
+	f.Add("99999999999999999999")
+	f.Add("")
+	f.Add("p@ttern\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePattern(s)
+		if err != nil {
+			return
+		}
+		if p < 0 || p >= numPatterns {
+			t.Fatalf("ParsePattern(%q) = %d outside the defined range", s, int(p))
+		}
+		back, err := ParsePattern(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip failed: %q -> %v -> (%v, %v)", s, p, back, err)
+		}
+	})
+}
+
+// FuzzParseRouter mirrors FuzzParsePattern for the router axis.
+func FuzzParseRouter(f *testing.F) {
+	for _, name := range RouterNames() {
+		f.Add(name)
+	}
+	f.Add("WORMHOLE")
+	f.Add(" xy ")
+	f.Add("3")
+	f.Add("-1")
+	f.Add("99999999999999999999")
+	f.Add("")
+	f.Add("r0uter\xff")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseRouter(s)
+		if err != nil {
+			return
+		}
+		if k < 0 || k >= numRouters {
+			t.Fatalf("ParseRouter(%q) = %d outside the defined range", s, int(k))
+		}
+		back, err := ParseRouter(k.String())
+		if err != nil || back != k {
+			t.Fatalf("round trip failed: %q -> %v -> (%v, %v)", s, k, back, err)
+		}
+	})
+}

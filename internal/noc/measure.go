@@ -1,0 +1,83 @@
+package noc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// MeasureConfig parameterizes one synthetic-traffic measurement point: a
+// router kind, a traffic configuration applied to every node, a warmup
+// window that runs unmeasured, and a measurement window. It is the single
+// execution path shared by the scenario runner, the dse router-ablation
+// experiment and cmd/medea-noc, so their numbers are directly comparable.
+type MeasureConfig struct {
+	Router  RouterKind
+	Traffic TrafficConfig
+	// Warmup cycles run before measurement starts (may be 0).
+	Warmup int64
+	// Measure is the measurement-window length in cycles (must be > 0).
+	Measure int64
+	// Seed seeds every traffic node (deterministic per seed).
+	Seed int64
+}
+
+// Measurement is the result of one Measure call. Latency statistics cover
+// only flits delivered inside the measurement window; peak buffer covers
+// the whole run (buffers fill during warmup too, and sizing hardware needs
+// the worst case).
+type Measurement struct {
+	Cycles      int64 // measurement window length
+	Delivered   int64 // flits ejected in the window
+	Deflections int64 // unproductive hops assigned in the window
+	Throughput  float64
+	MeanLatency float64
+	P99Latency  float64
+	MeanHops    float64
+	// DeflectionRate is deflections per delivered flit (0 for buffered
+	// routers, which never deflect).
+	DeflectionRate float64
+	// PeakBuffer is the worst per-switch buffer occupancy (0 for
+	// bufferless routers).
+	PeakBuffer int
+}
+
+// Measure simulates one (router, traffic, seed) point: build a fresh
+// network, warm up, then measure over an exact latency sample and counter
+// snapshots so only flits delivered inside the window count.
+func Measure(topo Topology, mc MeasureConfig) Measurement {
+	e := sim.NewEngine()
+	n := NewRouterNetwork(e, topo, mc.Router)
+	for i := 0; i < topo.NumNodes(); i++ {
+		tn := NewTrafficNode(i, topo, mc.Traffic, mc.Seed)
+		n.Attach(i, tn)
+		e.Register(sim.PhaseNode, tn)
+	}
+
+	e.Run(mc.Warmup)
+	sample := &stats.Sample{}
+	n.Stats.LatencySample = sample
+	delivered0 := n.Stats.Delivered.Value()
+	deflected0 := n.TotalDeflections()
+	hopsN0, hopsSum := n.Stats.Hops.Count(), n.Stats.Hops.Sum()
+	e.Run(mc.Measure)
+
+	delivered := n.Stats.Delivered.Value() - delivered0
+	deflected := n.TotalDeflections() - deflected0
+	m := Measurement{
+		Cycles:      mc.Measure,
+		Delivered:   delivered,
+		Deflections: deflected,
+		Throughput: float64(delivered) / float64(mc.Measure) /
+			float64(topo.NumNodes()),
+		MeanLatency: sample.Mean(),
+		P99Latency:  sample.Percentile(99),
+		PeakBuffer:  n.PeakBuffer(),
+	}
+	if dn := n.Stats.Hops.Count() - hopsN0; dn > 0 {
+		m.MeanHops = (n.Stats.Hops.Sum() - hopsSum) / float64(dn)
+	}
+	if delivered > 0 {
+		m.DeflectionRate = float64(deflected) / float64(delivered)
+	}
+	return m
+}

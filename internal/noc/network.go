@@ -8,10 +8,14 @@ import (
 	"repro/internal/stats"
 )
 
-// Network is a fully wired folded-torus NoC of deflection switches.
+// Network is a fully wired folded-torus NoC of switches running one of the
+// RouterKind algorithms. All kinds share the same link wiring, local-port
+// contract and statistics, so routers are directly comparable under
+// identical traffic.
 type Network struct {
-	Topo     Topology
-	Switches []*DeflSwitch
+	Topo    Topology
+	Kind    RouterKind
+	Routers []Router
 
 	// Stats aggregates network-wide traffic measurements.
 	Stats NetStats
@@ -31,28 +35,57 @@ type NetStats struct {
 	LatencySample *stats.Sample
 }
 
-// NewNetwork builds a w x h folded torus of deflection switches, wires all
-// links, registers everything with the engine (sim.PhaseSwitch), and
-// attaches a null port to every switch. Call Attach to connect real nodes.
+// NewNetwork builds a w x h folded torus of the paper's deflection
+// switches. It is shorthand for NewRouterNetwork(e, topo, RouterDeflection)
+// and remains the constructor used by the full MEDEA system.
 func NewNetwork(e *sim.Engine, topo Topology) *Network {
-	n := &Network{Topo: topo}
-	n.Switches = make([]*DeflSwitch, topo.NumNodes())
-	for id := range n.Switches {
+	return NewRouterNetwork(e, topo, RouterDeflection)
+}
+
+// NewXYNetwork builds a w x h torus of buffered XY switches, the ablation
+// baseline. Shorthand for NewRouterNetwork(e, topo, RouterXY).
+func NewXYNetwork(e *sim.Engine, topo Topology) *Network {
+	return NewRouterNetwork(e, topo, RouterXY)
+}
+
+// NewRouterNetwork builds a w x h folded torus of switches of the given
+// kind, wires all links, registers everything with the engine
+// (sim.PhaseSwitch), and attaches a null port to every switch. Call Attach
+// to connect real nodes.
+func NewRouterNetwork(e *sim.Engine, topo Topology, kind RouterKind) *Network {
+	n := &Network{Topo: topo, Kind: kind}
+	n.Routers = make([]Router, topo.NumNodes())
+	for id := range n.Routers {
 		x, y := topo.Coord(id)
-		n.Switches[id] = &DeflSwitch{id: id, x: x, y: y, topo: topo, local: &nullPort{}, net: n}
+		n.Routers[id] = newRouter(kind, routerPorts{
+			id: id, x: x, y: y, topo: topo, local: &nullPort{}, net: n,
+		})
 	}
 	// Create one register per directed link, shared between the producing
 	// switch's out port and the consuming switch's in port.
-	for id, sw := range n.Switches {
+	for id, r := range n.Routers {
+		rp := r.wiring()
 		for p := Port(0); p < NumPorts; p++ {
-			r := sim.NewReg[flit.Flit](e, fmt.Sprintf("link %d.%v", id, p))
-			sw.out[p] = r
+			reg := sim.NewReg[flit.Flit](e, fmt.Sprintf("link %d.%v", id, p))
+			rp.out[p] = reg
 			nb := topo.Neighbor(id, p)
-			n.Switches[nb].in[p.Opposite()] = r
+			n.Routers[nb].wiring().in[p.Opposite()] = reg
 		}
 	}
-	for _, sw := range n.Switches {
-		e.Register(sim.PhaseSwitch, sw)
+	// Cross-switch wiring beyond the links (credit wires, congestion
+	// taps) can be strung only after every switch exists.
+	switch kind {
+	case RouterWormhole:
+		for _, r := range n.Routers {
+			r.(*WormholeSwitch).wireCredits(n)
+		}
+	case RouterAdaptive:
+		for _, r := range n.Routers {
+			r.(*AdaptiveSwitch).wireNeighbors(n)
+		}
+	}
+	for _, r := range n.Routers {
+		e.Register(sim.PhaseSwitch, r)
 	}
 	return n
 }
@@ -62,28 +95,59 @@ func (n *Network) Attach(id int, lp LocalPort) {
 	if lp == nil {
 		panic("noc: nil local port")
 	}
-	n.Switches[id].local = lp
+	n.Routers[id].wiring().local = lp
 }
 
-// InFlight counts flits currently travelling on links. Injected ==
-// Delivered + InFlight is the conservation invariant checked by tests.
+// InFlight counts flits currently travelling on links or stored inside
+// switches. Injected == Delivered + InFlight is the conservation invariant
+// checked by the differential conformance tests; for bufferless kinds the
+// stored term is always zero and InFlight degenerates to the link count.
 func (n *Network) InFlight() int {
 	c := 0
-	for _, sw := range n.Switches {
-		for p := Port(0); p < NumPorts; p++ {
-			if sw.out[p].Valid() {
-				c++
-			}
-		}
+	for _, r := range n.Routers {
+		c += r.wiring().outOccupancy() + r.Buffered()
 	}
 	return c
 }
 
-// TotalDeflections sums deflections over all switches.
+// OnLinks counts only the flits currently travelling on links, excluding
+// buffered ones. For a bufferless network OnLinks == InFlight.
+func (n *Network) OnLinks() int {
+	c := 0
+	for _, r := range n.Routers {
+		c += r.wiring().outOccupancy()
+	}
+	return c
+}
+
+// BufferedNow sums the flits currently stored inside all switches.
+func (n *Network) BufferedNow() int {
+	c := 0
+	for _, r := range n.Routers {
+		c += r.Buffered()
+	}
+	return c
+}
+
+// PeakBuffer returns the worst per-switch buffer occupancy observed over
+// the run, i.e. the minimum per-switch storage a real implementation of
+// this router would have needed. Always 0 for bufferless kinds.
+func (n *Network) PeakBuffer() int {
+	peak := 0
+	for _, r := range n.Routers {
+		if p := r.PeakBuffered(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// TotalDeflections sums deflections over all switches (0 for buffered
+// kinds, which never deflect).
 func (n *Network) TotalDeflections() int64 {
 	var c int64
-	for _, sw := range n.Switches {
-		c += sw.Stats.Deflected.Value()
+	for _, r := range n.Routers {
+		c += r.Deflections()
 	}
 	return c
 }

@@ -254,8 +254,8 @@ func TestEjectMissedIsCounted(t *testing.T) {
 		t.Fatalf("destination got %d flits, want 2", len(cols[dst].got))
 	}
 	var missed int64
-	for _, sw := range n.Switches {
-		missed += sw.Stats.EjectMissed.Value()
+	for _, sw := range n.Routers {
+		missed += sw.(*DeflSwitch).Stats.EjectMissed.Value()
 	}
 	if missed == 0 {
 		t.Error("simultaneous arrivals should have recorded an eject miss")

@@ -1,0 +1,183 @@
+package noc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/flit"
+	"repro/internal/sim"
+)
+
+// RouterKind selects a routing algorithm for a Network. Routing is a
+// first-class sweep axis: every kind runs under the same Topology, the same
+// LocalPort contract and the same NetStats, so routers are directly
+// comparable under identical traffic (and must agree on the conservation
+// invariants even where they disagree on latency — see the differential
+// conformance tests).
+type RouterKind int
+
+// The four router implementations.
+const (
+	// RouterDeflection is the paper's bufferless hot-potato switch:
+	// oldest-first arbitration, productive ports preferred, losers deflect.
+	RouterDeflection RouterKind = iota
+	// RouterXY is the buffered dimension-order (X then Y) baseline with
+	// unbounded input queues, the router the paper argues against.
+	RouterXY
+	// RouterAdaptive is an age-weighted adaptive deflection router: like
+	// RouterDeflection, but among free productive ports it picks the one
+	// whose downstream switch currently sees the least traffic.
+	RouterAdaptive
+	// RouterWormhole is a 2-virtual-channel input-buffered wormhole router
+	// with credit-based flow control and dateline VC allocation for
+	// deadlock freedom on the torus rings.
+	RouterWormhole
+
+	// numRouters counts the defined router kinds (keep it last).
+	numRouters
+)
+
+// String implements fmt.Stringer.
+func (k RouterKind) String() string {
+	switch k {
+	case RouterDeflection:
+		return "deflection"
+	case RouterXY:
+		return "xy"
+	case RouterAdaptive:
+		return "adaptive"
+	case RouterWormhole:
+		return "wormhole"
+	}
+	return fmt.Sprintf("router(%d)", int(k))
+}
+
+// Bufferless reports whether the kind stores no flits inside the switch
+// (the minimal-storage property the paper argues for). The conformance
+// tests assert Buffered() == 0 every cycle for bufferless kinds.
+func (k RouterKind) Bufferless() bool {
+	return k == RouterDeflection || k == RouterAdaptive
+}
+
+// AllRouters returns every defined router kind in declaration order.
+func AllRouters() []RouterKind {
+	out := make([]RouterKind, numRouters)
+	for i := range out {
+		out[i] = RouterKind(i)
+	}
+	return out
+}
+
+// RouterNames returns the canonical names of every router kind, for flag
+// documentation and error messages.
+func RouterNames() []string {
+	names := make([]string, numRouters)
+	for i := range names {
+		names[i] = RouterKind(i).String()
+	}
+	return names
+}
+
+// ParseRouter resolves a router kind from its canonical name (as printed
+// by RouterKind.String) or its numeric value. Matching is case-insensitive
+// and accepts "_" for "-", mirroring ParsePattern.
+func ParseRouter(s string) (RouterKind, error) {
+	norm := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), "_", "-")
+	for k := RouterKind(0); k < numRouters; k++ {
+		if norm == k.String() {
+			return k, nil
+		}
+	}
+	if n, err := strconv.Atoi(norm); err == nil {
+		if n >= 0 && n < int(numRouters) {
+			return RouterKind(n), nil
+		}
+		return 0, fmt.Errorf("noc: router index %d out of range [0, %d)", n, int(numRouters))
+	}
+	return 0, fmt.Errorf("noc: unknown router %q (have: %s)", s, strings.Join(RouterNames(), ", "))
+}
+
+// Router is one switch instance of a routing algorithm. Implementations
+// share the wiring block (routerPorts) that NewRouterNetwork fills in; the
+// interface exposes only what the network, tracer and conformance tests
+// need, so the set of implementations stays closed inside this package.
+type Router interface {
+	sim.Component
+	// ID returns the switch's node id.
+	ID() int
+	// Buffered returns the number of flits currently stored inside the
+	// router (input buffers and injection queue); bufferless routers
+	// always return 0.
+	Buffered() int
+	// PeakBuffered returns the most flits ever stored at once, i.e. the
+	// storage a real implementation of this switch would have needed.
+	PeakBuffered() int
+	// Deflections returns the cumulative count of unproductive hops
+	// assigned by this switch (always 0 for buffered routers).
+	Deflections() int64
+	// EjectedCount returns the cumulative deliveries to the local node.
+	EjectedCount() int64
+	// wiring exposes the wiring block to the network constructor.
+	wiring() *routerPorts
+}
+
+// routerPorts is the per-switch wiring shared by every Router
+// implementation: the four link registers in each direction, the local
+// node port, and the back-pointer to the owning network for stats.
+// Implementations embed it, so field access reads like the hardware it
+// models (s.in[p], s.out[p], s.local).
+type routerPorts struct {
+	id   int
+	x, y int
+	topo Topology
+	in   [NumPorts]*sim.Reg[flit.Flit]
+	out  [NumPorts]*sim.Reg[flit.Flit]
+
+	local LocalPort
+	net   *Network
+}
+
+// ID implements Router.
+func (rp *routerPorts) ID() int { return rp.id }
+
+func (rp *routerPorts) wiring() *routerPorts { return rp }
+
+// outOccupancy counts output links carrying a flit this cycle.
+func (rp *routerPorts) outOccupancy() int {
+	c := 0
+	for p := Port(0); p < NumPorts; p++ {
+		if rp.out[p].Valid() {
+			c++
+		}
+	}
+	return c
+}
+
+// inOccupancy counts input links delivering a flit this cycle; the
+// adaptive router reads its neighbours' value as the downstream
+// contention estimate.
+func (rp *routerPorts) inOccupancy() int {
+	c := 0
+	for p := Port(0); p < NumPorts; p++ {
+		if rp.in[p].Valid() {
+			c++
+		}
+	}
+	return c
+}
+
+// newRouter constructs an unwired switch of the given kind.
+func newRouter(kind RouterKind, rp routerPorts) Router {
+	switch kind {
+	case RouterDeflection:
+		return &DeflSwitch{routerPorts: rp}
+	case RouterXY:
+		return &XYSwitch{routerPorts: rp}
+	case RouterAdaptive:
+		return &AdaptiveSwitch{routerPorts: rp}
+	case RouterWormhole:
+		return newWormholeSwitch(rp)
+	}
+	panic(fmt.Sprintf("noc: unknown router kind %d", int(kind)))
+}

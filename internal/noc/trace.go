@@ -22,10 +22,11 @@ type VCDTracer struct {
 }
 
 // NewVCDTracer creates a tracer for net writing to out. It must be
-// created after the network and registered by the caller.
+// created after the network and registered by the caller. It works for
+// every RouterKind; the occupancy signal counts valid output links.
 func NewVCDTracer(net *Network, out io.Writer) (*VCDTracer, error) {
 	t := &VCDTracer{net: net, w: vcd.NewWriter(out)}
-	for _, sw := range net.Switches {
+	for _, sw := range net.Routers {
 		x, y := net.Topo.Coord(sw.ID())
 		t.occ = append(t.occ, t.w.Declare(fmt.Sprintf("sw_%d_%d_links", x, y), 3))
 		t.ejc = append(t.ejc, t.w.Declare(fmt.Sprintf("sw_%d_%d_ejected", x, y), 16))
@@ -42,15 +43,9 @@ func (t *VCDTracer) Name() string { return "vcd-tracer" }
 
 // Step implements sim.Component.
 func (t *VCDTracer) Step(now int64) {
-	for i, sw := range t.net.Switches {
-		occ := uint64(0)
-		for p := Port(0); p < NumPorts; p++ {
-			if sw.out[p].Valid() {
-				occ++
-			}
-		}
-		t.emit(now, t.occ[i], occ)
-		t.emit(now, t.ejc[i], uint64(sw.Stats.Ejected.Value())&0xFFFF)
+	for i, sw := range t.net.Routers {
+		t.emit(now, t.occ[i], uint64(sw.wiring().outOccupancy()))
+		t.emit(now, t.ejc[i], uint64(sw.EjectedCount())&0xFFFF)
 	}
 	t.emit(now, t.defl, uint64(t.net.TotalDeflections())&0xFFFFFFFF)
 }

@@ -1,0 +1,322 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/queue"
+	"repro/internal/stats"
+)
+
+// Wormhole router geometry: two virtual channels per link (the minimum for
+// deadlock-free dimension-order routing on torus rings, via the classic
+// dateline scheme) and a small per-VC input buffer, credit-managed.
+const (
+	// WormholeVCs is the number of virtual channels per link.
+	WormholeVCs = 2
+	// WormholeVCDepth is the per-VC input-buffer capacity in flits; it is
+	// also the initial credit count the upstream switch holds for that
+	// buffer.
+	WormholeVCDepth = 4
+)
+
+// WormholeStats counts per-switch events for the wormhole router.
+type WormholeStats struct {
+	Routed       stats.Counter // flits forwarded to an output port
+	Ejected      stats.Counter // flits delivered to the local node
+	Injected     stats.Counter // flits accepted from the local node
+	CreditStalls stats.Counter // head flits stalled for lack of credit
+	PortStalls   stats.Counter // head flits stalled on a busy output port
+}
+
+// WormholeSwitch is a 2-virtual-channel input-buffered wormhole router
+// with credit-based flow control, the middle ground between the paper's
+// bufferless deflection switch and the unbounded-queue XY baseline:
+//
+//   - Routing is dimension-order (X then Y, shorter wrap direction), the
+//     same path function as XYSwitch.
+//   - Each input link has WormholeVCs small FIFOs; a flit advances only
+//     when the downstream buffer for its VC has a free slot, tracked by
+//     credits. A returned credit travels one cycle on a dedicated wire
+//     (the same two-phase discipline flit links get from sim.Reg, so
+//     turnaround never depends on engine stepping order); credits can
+//     never go negative (sending is gated on a credit) and the
+//     conformance tests assert it.
+//   - Deadlock freedom on the torus rings comes from dateline VC
+//     allocation: a packet travels a ring on VC0 until it crosses the
+//     wrap-around link, then switches to VC1; turning into the Y dimension
+//     resets to VC0 (the rings are disjoint resource classes under
+//     dimension-order routing).
+//
+// A flit arriving on a link is buffered in the cycle it arrives and
+// becomes eligible for switch allocation the next cycle (buffer write then
+// switch traversal, as in a real input-buffered pipeline), so the
+// zero-load per-hop latency is one cycle higher than the single-cycle
+// deflection switch — the latency cost of buffering the paper points at.
+type WormholeSwitch struct {
+	routerPorts
+
+	bufs [NumPorts][WormholeVCs]*queue.FIFO[flit.Flit]
+	injQ *queue.FIFO[flit.Flit]
+
+	// credits[p][v] counts free slots in the downstream switch's input
+	// buffer reached through port p, VC v.
+	credits [NumPorts][WormholeVCs]int
+	// pending[c&1][p][v] accumulates credits returned by the downstream
+	// switch during cycle c; they fold into credits at this switch's next
+	// Step. The parity split gives every returned credit exactly one
+	// cycle of wire latency regardless of engine stepping order, the same
+	// two-phase discipline sim.Reg enforces for flits.
+	pending [2][NumPorts][WormholeVCs]int
+	// up[p] is the upstream switch feeding in[p]; draining a flit that
+	// arrived there returns one credit to it.
+	up [NumPorts]*WormholeSwitch
+
+	buffered  int
+	peakBuf   int
+	minCredit int // most negative headroom ever observed (stays >= 0)
+
+	Stats WormholeStats
+}
+
+func newWormholeSwitch(rp routerPorts) *WormholeSwitch {
+	s := &WormholeSwitch{routerPorts: rp, injQ: queue.NewFIFO[flit.Flit](WormholeVCDepth)}
+	for p := 0; p < int(NumPorts); p++ {
+		for v := 0; v < WormholeVCs; v++ {
+			s.bufs[p][v] = queue.NewFIFO[flit.Flit](WormholeVCDepth)
+			s.credits[p][v] = WormholeVCDepth
+		}
+	}
+	s.minCredit = WormholeVCDepth
+	return s
+}
+
+// wireCredits resolves the upstream switch behind every input port; called
+// by NewRouterNetwork after all switches exist.
+func (s *WormholeSwitch) wireCredits(n *Network) {
+	for p := Port(0); p < NumPorts; p++ {
+		s.up[p] = n.Routers[s.topo.Neighbor(s.id, p)].(*WormholeSwitch)
+	}
+}
+
+// Name implements sim.Component.
+func (s *WormholeSwitch) Name() string { return fmt.Sprintf("whsw(%d,%d)", s.x, s.y) }
+
+// Buffered implements Router.
+func (s *WormholeSwitch) Buffered() int { return s.buffered }
+
+// PeakBuffered implements Router.
+func (s *WormholeSwitch) PeakBuffered() int { return s.peakBuf }
+
+// Deflections implements Router; wormhole routing never deflects.
+func (s *WormholeSwitch) Deflections() int64 { return 0 }
+
+// EjectedCount implements Router.
+func (s *WormholeSwitch) EjectedCount() int64 { return s.Stats.Ejected.Value() }
+
+// MinCredit returns the lowest credit count ever observed on any of this
+// switch's output VCs. The conformance tests assert it never goes below
+// zero (the credit protocol never overruns a downstream buffer).
+func (s *WormholeSwitch) MinCredit() int { return s.minCredit }
+
+// returnCredit hands one credit back to the upstream switch feeding input
+// port q for VC v, i.e. the slot just drained is free again. The credit
+// travels on a dedicated wire: it lands in the upstream switch's pending
+// accumulator for the current cycle and becomes spendable at its next
+// Step, so turnaround time does not depend on the order switches step in.
+func (s *WormholeSwitch) returnCredit(q Port, v uint8, now int64) {
+	s.up[q].pending[now&1][q.Opposite()][v]++
+}
+
+// collectCredits folds the credits returned during the previous cycle
+// into the spendable counters; runs first in Step.
+func (s *WormholeSwitch) collectCredits(now int64) {
+	prev := &s.pending[(now+1)&1] // parity of cycle now-1
+	for p := 0; p < int(NumPorts); p++ {
+		for v := 0; v < WormholeVCs; v++ {
+			if prev[p][v] == 0 {
+				continue
+			}
+			s.credits[p][v] += prev[p][v]
+			prev[p][v] = 0
+			if s.credits[p][v] > WormholeVCDepth {
+				panic("noc: wormhole credit overflow (more credits than buffer slots)")
+			}
+		}
+	}
+}
+
+// spendCredit consumes one credit for sending out port p on VC v.
+func (s *WormholeSwitch) spendCredit(p Port, v uint8) {
+	s.credits[p][v]--
+	if s.credits[p][v] < s.minCredit {
+		s.minCredit = s.credits[p][v]
+	}
+	if s.credits[p][v] < 0 {
+		panic("noc: wormhole credit underflow (sent without a credit)")
+	}
+}
+
+// sendVC computes the virtual channel for the hop out of port p, given
+// the VC the flit currently occupies and whether it is turning into a new
+// dimension (or entering the network). Dateline rule: each ring is
+// traversed on VC0 until the hop that crosses the wrap-around link, VC1
+// afterwards.
+func (s *WormholeSwitch) sendVC(cur uint8, p Port, newDim bool) uint8 {
+	vc := cur
+	if newDim {
+		vc = 0
+	}
+	switch p {
+	case East:
+		if s.x == s.topo.W-1 {
+			vc = 1
+		}
+	case West:
+		if s.x == 0 {
+			vc = 1
+		}
+	case North:
+		if s.y == s.topo.H-1 {
+			vc = 1
+		}
+	case South:
+		if s.y == 0 {
+			vc = 1
+		}
+	}
+	return vc
+}
+
+// isYPort reports whether p moves along the Y dimension.
+func isYPort(p Port) bool { return p == North || p == South }
+
+// whHead is one allocation candidate: the head flit of an input FIFO (a
+// per-link VC buffer, or the local injection queue when port == -1).
+type whHead struct {
+	q    *queue.FIFO[flit.Flit]
+	f    flit.Flit
+	port int // -1 for the injection queue
+	vc   uint8
+}
+
+// heads collects the current head flit of every non-empty input queue.
+func (s *WormholeSwitch) heads(scratch []whHead) []whHead {
+	for p := 0; p < int(NumPorts); p++ {
+		for v := 0; v < WormholeVCs; v++ {
+			if f, ok := s.bufs[p][v].Peek(); ok {
+				scratch = append(scratch, whHead{q: s.bufs[p][v], f: f, port: p, vc: uint8(v)})
+			}
+		}
+	}
+	if f, ok := s.injQ.Peek(); ok {
+		scratch = append(scratch, whHead{q: s.injQ, f: f, port: -1})
+	}
+	return scratch
+}
+
+// olderHead orders allocation candidates oldest-first with the same total
+// deterministic ordering the deflection switch uses (inject cycle, packet
+// id, sequence number, then arrival port/VC).
+func olderHead(a, b whHead) bool {
+	return older(routedFlit{f: a.f, inPort: a.port*WormholeVCs + int(a.vc)},
+		routedFlit{f: b.f, inPort: b.port*WormholeVCs + int(b.vc)})
+}
+
+// pop removes the granted head from its queue, returning the freed credit
+// upstream when the flit arrived over a link.
+func (s *WormholeSwitch) pop(h whHead, now int64) {
+	h.q.Pop()
+	s.buffered--
+	if h.port >= 0 {
+		s.returnCredit(Port(h.port), h.vc, now)
+	}
+}
+
+// Step implements sim.Component; it runs in sim.PhaseSwitch.
+func (s *WormholeSwitch) Step(now int64) {
+	// 0. Collect the credits the downstream switches returned last cycle.
+	s.collectCredits(now)
+
+	// 1. Switch allocation over the flits buffered in previous cycles:
+	// each output port carries at most one flit per cycle, each input FIFO
+	// advances at most its head, and one flit may eject. Grants go in
+	// oldest-first order (the same age arbitration as the deflection
+	// switch, which keeps the allocator fair network-wide and starvation
+	// free); a head advances only if its output port is free AND a credit
+	// for its VC is available.
+	var scratch [NumPorts*WormholeVCs + 1]whHead
+	heads := s.heads(scratch[:0])
+	for i := 1; i < len(heads); i++ {
+		for j := i; j > 0 && olderHead(heads[j], heads[j-1]); j-- {
+			heads[j], heads[j-1] = heads[j-1], heads[j]
+		}
+	}
+	var outTaken [NumPorts]bool
+	ejected := false
+	for _, h := range heads {
+		f := h.f
+		if int(f.DstX) == s.x && int(f.DstY) == s.y {
+			// Ejection port: one flit per cycle; younger heads wait.
+			if ejected {
+				continue
+			}
+			ejected = true
+			s.pop(h, now)
+			s.Stats.Ejected.Inc()
+			s.net.noteDelivered(f, now)
+			s.local.Deliver(f, now)
+			continue
+		}
+		p, ok := s.topo.XYFirstPort(s.x, s.y, int(f.DstX), int(f.DstY))
+		if !ok {
+			panic("noc: wormhole flit at destination not ejected")
+		}
+		if outTaken[p] {
+			s.Stats.PortStalls.Inc()
+			continue
+		}
+		// Injected flits and X->Y turns start their ring on VC0.
+		newDim := h.port < 0 || (isYPort(p) && !isYPort(Port(h.port)))
+		vc := s.sendVC(f.Meta.VC, p, newDim)
+		if s.credits[p][vc] == 0 {
+			s.Stats.CreditStalls.Inc()
+			continue
+		}
+		s.pop(h, now)
+		s.spendCredit(p, vc)
+		f.Meta.VC = vc
+		f.Meta.Hops++
+		outTaken[p] = true
+		s.out[p].Set(f)
+		s.Stats.Routed.Inc()
+	}
+
+	// 2. Buffer writes: accept link arrivals into the per-VC input
+	// buffers. The credit protocol guarantees space; running this after
+	// allocation models the one-cycle buffer-write stage (a flit cannot
+	// cut through the switch in its arrival cycle).
+	for p := 0; p < int(NumPorts); p++ {
+		if f, ok := s.in[p].Get(); ok {
+			if !s.bufs[p][f.Meta.VC].Push(f) {
+				panic("noc: wormhole input buffer overrun (credit protocol violated)")
+			}
+			s.buffered++
+		}
+	}
+	// 3. Local injection: accept at most one flit per cycle into the
+	// injection queue; when it is full the node keeps the flit (the same
+	// backpressure contract every router applies through TryPull).
+	if !s.injQ.Full() {
+		if f, ok := s.local.TryPull(); ok {
+			f.Meta.VC = 0
+			s.Stats.Injected.Inc()
+			s.net.noteInjected()
+			s.injQ.Push(f)
+			s.buffered++
+		}
+	}
+	if s.buffered > s.peakBuf {
+		s.peakBuf = s.buffered
+	}
+}

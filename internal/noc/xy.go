@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/flit"
-	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -16,16 +15,13 @@ import (
 // deflection switch's theoretical-minimum storage (see
 // BenchmarkDeflectionVsXY).
 type XYSwitch struct {
-	id    int
-	x, y  int
-	topo  Topology
-	in    [NumPorts]*sim.Reg[flit.Flit]
-	out   [NumPorts]*sim.Reg[flit.Flit]
-	local LocalPort
-	net   *XYNetwork
+	routerPorts
 
 	queues  [NumPorts + 1][]flit.Flit // +1: local injection queue
 	rrStart int
+
+	buffered int // total occupancy across all queues
+	peakBuf  int
 
 	Stats XYStats
 }
@@ -35,11 +31,23 @@ type XYStats struct {
 	Routed   stats.Counter
 	Ejected  stats.Counter
 	Injected stats.Counter
-	PeakQ    int // max occupancy observed over any input queue
+	PeakQ    int // max occupancy observed over any single input queue
 }
 
 // Name implements sim.Component.
 func (s *XYSwitch) Name() string { return fmt.Sprintf("xysw(%d,%d)", s.x, s.y) }
+
+// Buffered implements Router.
+func (s *XYSwitch) Buffered() int { return s.buffered }
+
+// PeakBuffered implements Router.
+func (s *XYSwitch) PeakBuffered() int { return s.peakBuf }
+
+// Deflections implements Router; the buffered router never deflects.
+func (s *XYSwitch) Deflections() int64 { return 0 }
+
+// EjectedCount implements Router.
+func (s *XYSwitch) EjectedCount() int64 { return s.Stats.Ejected.Value() }
 
 // Step implements sim.Component; it runs in sim.PhaseSwitch.
 func (s *XYSwitch) Step(now int64) {
@@ -47,6 +55,7 @@ func (s *XYSwitch) Step(now int64) {
 	for p := 0; p < int(NumPorts); p++ {
 		if f, ok := s.in[p].Get(); ok {
 			s.queues[p] = append(s.queues[p], f)
+			s.buffered++
 		}
 	}
 	// Accept one local injection per cycle.
@@ -54,11 +63,15 @@ func (s *XYSwitch) Step(now int64) {
 		s.Stats.Injected.Inc()
 		s.net.noteInjected()
 		s.queues[NumPorts] = append(s.queues[NumPorts], f)
+		s.buffered++
 	}
 	for q := range s.queues {
 		if len(s.queues[q]) > s.Stats.PeakQ {
 			s.Stats.PeakQ = len(s.queues[q])
 		}
+	}
+	if s.buffered > s.peakBuf {
+		s.peakBuf = s.buffered
 	}
 
 	// Each output port (and the ejection port) forwards at most one flit
@@ -94,63 +107,7 @@ func (s *XYSwitch) Step(now int64) {
 			s.Stats.Routed.Inc()
 		}
 		s.queues[q] = s.queues[q][1:]
+		s.buffered--
 	}
 	s.rrStart = (s.rrStart + 1) % nq
-}
-
-// XYNetwork is a fully wired torus of XY switches, mirroring Network.
-type XYNetwork struct {
-	Topo     Topology
-	Switches []*XYSwitch
-	Stats    NetStats
-}
-
-// NewXYNetwork builds a w x h torus of buffered XY switches.
-func NewXYNetwork(e *sim.Engine, topo Topology) *XYNetwork {
-	n := &XYNetwork{Topo: topo}
-	n.Switches = make([]*XYSwitch, topo.NumNodes())
-	for id := range n.Switches {
-		x, y := topo.Coord(id)
-		n.Switches[id] = &XYSwitch{id: id, x: x, y: y, topo: topo, local: &nullPort{}, net: n}
-	}
-	for id, sw := range n.Switches {
-		for p := Port(0); p < NumPorts; p++ {
-			r := sim.NewReg[flit.Flit](e, fmt.Sprintf("xylink %d.%v", id, p))
-			sw.out[p] = r
-			nb := topo.Neighbor(id, p)
-			n.Switches[nb].in[p.Opposite()] = r
-		}
-	}
-	for _, sw := range n.Switches {
-		e.Register(sim.PhaseSwitch, sw)
-	}
-	return n
-}
-
-// Attach connects a node's local port to the switch with the given id.
-func (n *XYNetwork) Attach(id int, lp LocalPort) {
-	if lp == nil {
-		panic("noc: nil local port")
-	}
-	n.Switches[id].local = lp
-}
-
-// PeakQueue returns the worst input-queue occupancy across all switches,
-// i.e. the minimum buffering a real implementation would have needed.
-func (n *XYNetwork) PeakQueue() int {
-	peak := 0
-	for _, sw := range n.Switches {
-		if sw.Stats.PeakQ > peak {
-			peak = sw.Stats.PeakQ
-		}
-	}
-	return peak
-}
-
-func (n *XYNetwork) noteInjected() { n.Stats.Injected.Inc() }
-
-func (n *XYNetwork) noteDelivered(f flit.Flit, now int64) {
-	n.Stats.Delivered.Inc()
-	n.Stats.Latency.Observe(float64(now - f.Meta.InjectCycle))
-	n.Stats.Hops.Observe(float64(f.Meta.Hops))
 }

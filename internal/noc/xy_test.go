@@ -98,7 +98,7 @@ func TestXYConservationUnderLoad(t *testing.T) {
 	}
 	// Drain with injection stopped (traffic nodes are components; easiest
 	// is to run a long tail and require full delivery since rates pause).
-	if n.PeakQueue() == 0 {
+	if n.PeakBuffer() == 0 {
 		t.Error("buffered router should have queued something under transpose load")
 	}
 	if n.Stats.Delivered.Value() > sent {

@@ -74,6 +74,101 @@ func TestFIFOPeak(t *testing.T) {
 	}
 }
 
+// TestFIFOWrapAroundAtCapacity exercises the ring boundary of a bounded
+// queue: fill to capacity, drain partially, refill so the tail wraps past
+// the end of the backing array, and verify order, Peek and Full at every
+// step. Bounded queues allocate the ring once, so these pushes must never
+// grow.
+func TestFIFOWrapAroundAtCapacity(t *testing.T) {
+	const cap = 4
+	q := NewFIFO[int](cap)
+	for i := 0; i < cap; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d within capacity failed", i)
+		}
+	}
+	if !q.Full() || q.Push(99) {
+		t.Fatal("full queue accepted a push")
+	}
+	// Drain half: head moves to the middle of the ring.
+	for i := 0; i < cap/2; i++ {
+		if v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("pop = %v, %v; want %d", v, ok, i)
+		}
+	}
+	// Refill: tail wraps around the end of the backing array.
+	for i := cap; i < cap+cap/2; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d after partial drain failed", i)
+		}
+	}
+	if !q.Full() {
+		t.Error("queue should be full again after refill")
+	}
+	if v, ok := q.Peek(); !ok || v != cap/2 {
+		t.Fatalf("peek across wrap = %v, %v; want %d", v, ok, cap/2)
+	}
+	// Full drain must come out in order across the wrap point.
+	for i := cap / 2; i < cap+cap/2; i++ {
+		if v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("wrapped pop = %v, %v; want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop from drained queue succeeded")
+	}
+	if q.Peak() != cap {
+		t.Errorf("peak = %d, want %d", q.Peak(), cap)
+	}
+}
+
+// TestFIFOCapacityOne is the degenerate ring: every push lands on the same
+// slot and head/tail wrap every operation.
+func TestFIFOCapacityOne(t *testing.T) {
+	q := NewFIFO[string](1)
+	for round := 0; round < 3; round++ {
+		if !q.Push("v") {
+			t.Fatalf("round %d: push into empty cap-1 queue failed", round)
+		}
+		if q.Push("w") {
+			t.Fatalf("round %d: cap-1 queue accepted a second element", round)
+		}
+		if v, ok := q.Pop(); !ok || v != "v" {
+			t.Fatalf("round %d: pop = %v, %v", round, v, ok)
+		}
+	}
+	if q.Len() != 0 || q.Peak() != 1 {
+		t.Errorf("len=%d peak=%d, want 0/1", q.Len(), q.Peak())
+	}
+}
+
+// TestFIFOGrowWithWrappedHead forces an unbounded queue to grow while its
+// head sits mid-ring, verifying grow() linearizes the two segments in
+// order.
+func TestFIFOGrowWithWrappedHead(t *testing.T) {
+	q := NewFIFO[int](0)
+	// Fill the initial 4-slot ring, drain two, push two: head = 2 and the
+	// ring wraps.
+	for i := 0; i < 4; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	q.Push(4)
+	q.Push(5)
+	// Next push grows the ring from a wrapped state.
+	q.Push(6)
+	want := []int{2, 3, 4, 5, 6}
+	for _, w := range want {
+		if v, ok := q.Pop(); !ok || v != w {
+			t.Fatalf("after grow: pop = %v, %v; want %d", v, ok, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("len = %d after full drain", q.Len())
+	}
+}
+
 // TestFIFOQuick property-tests FIFO behaviour against a slice model.
 func TestFIFOQuick(t *testing.T) {
 	fn := func(ops []int16) bool {

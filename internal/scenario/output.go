@@ -36,15 +36,15 @@ func Table(results []Result) string {
 				r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, 100*r.MissRate, r.AreaMM2, r.Speedup)
 		}
 	} else {
-		fmt.Fprintln(w, "pattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tdelivered\t")
+		fmt.Fprintln(w, "router\tpattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tpeak-buf\tdelivered\t")
 		for _, r := range results {
 			name := r.Pattern
 			if r.Bursty {
 				name = "bursty+" + name
 			}
-			fmt.Fprintf(w, "%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t\n",
-				name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
-				r.DeflectionRate, r.Delivered)
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%d\t\n",
+				r.Router, name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
+				r.DeflectionRate, r.PeakBuffer, r.Delivered)
 		}
 	}
 	w.Flush()
@@ -64,11 +64,11 @@ func CSV(results []Result) string {
 		}
 		return b.String()
 	}
-	b.WriteString("pattern,rate,seed,bursty,cycles,delivered,throughput,mean_latency,p99_latency,deflection_rate\n")
+	b.WriteString("pattern,rate,seed,router,bursty,cycles,delivered,throughput,mean_latency,p99_latency,deflection_rate,peak_buffer\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%g,%d,%t,%d,%d,%.6f,%.3f,%g,%.4f\n",
-			r.Pattern, r.Rate, r.Seed, r.Bursty, r.Cycles, r.Delivered,
-			r.Throughput, r.MeanLatency, r.P99Latency, r.DeflectionRate)
+		fmt.Fprintf(&b, "%s,%g,%d,%s,%t,%d,%d,%.6f,%.3f,%g,%.4f,%d\n",
+			r.Pattern, r.Rate, r.Seed, r.Router, r.Bursty, r.Cycles, r.Delivered,
+			r.Throughput, r.MeanLatency, r.P99Latency, r.DeflectionRate, r.PeakBuffer)
 	}
 	return b.String()
 }
@@ -81,6 +81,7 @@ func CSV(results []Result) string {
 type nocJSON struct {
 	Scenario       string  `json:"scenario"`
 	Workload       string  `json:"workload"`
+	Router         string  `json:"router"`
 	Pattern        string  `json:"pattern"`
 	Rate           float64 `json:"rate"`
 	Seed           int64   `json:"seed"`
@@ -91,6 +92,7 @@ type nocJSON struct {
 	MeanLatency    float64 `json:"mean_latency"`
 	P99Latency     float64 `json:"p99_latency"`
 	DeflectionRate float64 `json:"deflection_rate"`
+	PeakBuffer     int     `json:"peak_buffer"`
 }
 
 type jacobiJSON struct {
@@ -121,10 +123,10 @@ func JSON(results []Result) (string, error) {
 		} else {
 			rows[i] = nocJSON{
 				Scenario: r.Scenario, Workload: r.Workload,
-				Pattern: r.Pattern, Rate: r.Rate, Seed: r.Seed, Bursty: r.Bursty,
+				Router: r.Router, Pattern: r.Pattern, Rate: r.Rate, Seed: r.Seed, Bursty: r.Bursty,
 				Cycles: r.Cycles, Delivered: r.Delivered, Throughput: r.Throughput,
 				MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
-				DeflectionRate: r.DeflectionRate,
+				DeflectionRate: r.DeflectionRate, PeakBuffer: r.PeakBuffer,
 			}
 		}
 	}
@@ -143,8 +145,8 @@ func Summary(s *Scenario) string {
 		axes = fmt.Sprintf("%d cores x %d caches x %d policies",
 			len(s.Jacobi.Cores), len(s.Jacobi.CacheKB), max(1, len(s.Jacobi.Policies)))
 	} else {
-		axes = fmt.Sprintf("%d patterns x %d rates x %d seeds",
-			len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
+		axes = fmt.Sprintf("%d routers x %d patterns x %d rates x %d seeds",
+			max(1, len(s.NoC.Routers)), len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
 	}
 	return fmt.Sprintf("%s: %s workload, %s = %d points", s.Name, s.Workload, axes, s.NumPoints())
 }

@@ -7,8 +7,6 @@ import (
 	"repro/internal/dse"
 	"repro/internal/noc"
 	"repro/internal/par"
-	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // Result is one evaluated sweep point. NoC-synthetic points fill the
@@ -19,6 +17,7 @@ type Result struct {
 	Workload string `json:"workload"`
 
 	// NoC axes.
+	Router  string  `json:"router,omitempty"`
 	Pattern string  `json:"pattern,omitempty"`
 	Rate    float64 `json:"rate,omitempty"`
 	Seed    int64   `json:"seed,omitempty"`
@@ -30,13 +29,16 @@ type Result struct {
 	Policy  string `json:"policy,omitempty"`
 	Variant string `json:"variant,omitempty"`
 
-	// NoC metrics, over the measurement window only.
+	// NoC metrics, over the measurement window only (PeakBuffer covers
+	// the whole run: buffers fill during warmup too and hardware must be
+	// sized for the worst case).
 	Cycles         int64   `json:"cycles,omitempty"`     // measurement window length
 	Delivered      int64   `json:"delivered,omitempty"`  // flits ejected in the window
 	Throughput     float64 `json:"throughput,omitempty"` // delivered flits/node/cycle
 	MeanLatency    float64 `json:"mean_latency,omitempty"`
 	P99Latency     float64 `json:"p99_latency,omitempty"`
 	DeflectionRate float64 `json:"deflection_rate,omitempty"` // deflections per delivered flit
+	PeakBuffer     int     `json:"peak_buffer,omitempty"`     // worst per-switch buffer occupancy
 
 	// Jacobi metrics.
 	CyclesPerIter int64   `json:"cycles_per_iter,omitempty"`
@@ -139,10 +141,11 @@ func DSEPoints(results []Result) []dse.Point {
 	return points
 }
 
-// runNoC expands patterns x rates x seeds and executes each point on the
-// shared fixed worker pool (par.ForEach, as dse.Sweep does): every point
-// is an independent deterministic simulation, so each slot of the result
-// slice is written by exactly one job and the whole set is reproducible.
+// runNoC expands routers x patterns x rates x seeds and executes each
+// point on the shared fixed worker pool (par.ForEach, as dse.Sweep does):
+// every point is an independent deterministic simulation, so each slot of
+// the result slice is written by exactly one job and the whole set is
+// reproducible.
 func runNoC(s *Scenario) ([]Result, error) {
 	c := s.NoC
 	topo, err := noc.NewTopology(c.Width, c.Height)
@@ -151,11 +154,12 @@ func runNoC(s *Scenario) ([]Result, error) {
 	}
 	type job struct {
 		idx     int
+		router  noc.RouterKind
 		pattern noc.Pattern
 		rate    float64
 		seed    int64
 	}
-	var jobs []job
+	patterns := make([]noc.Pattern, 0, len(c.Patterns))
 	for _, name := range c.Patterns {
 		p, err := noc.ParsePattern(name)
 		if err != nil {
@@ -164,27 +168,32 @@ func runNoC(s *Scenario) ([]Result, error) {
 		if err := noc.ValidatePattern(p, topo); err != nil {
 			return nil, err
 		}
-		for _, rate := range c.Rates {
-			for _, seed := range s.seedList() {
-				jobs = append(jobs, job{idx: len(jobs), pattern: p, rate: rate, seed: seed})
+		patterns = append(patterns, p)
+	}
+	var jobs []job
+	for _, router := range c.routerList() {
+		for _, p := range patterns {
+			for _, rate := range c.Rates {
+				for _, seed := range s.seedList() {
+					jobs = append(jobs, job{idx: len(jobs), router: router, pattern: p, rate: rate, seed: seed})
+				}
 			}
 		}
 	}
 	results := make([]Result, len(jobs))
 	par.ForEach(len(jobs), s.Parallelism, func(i int) {
 		j := jobs[i]
-		r := runNoCPoint(topo, c, j.pattern, j.rate, j.seed)
+		r := runNoCPoint(topo, c, j.router, j.pattern, j.rate, j.seed)
 		r.Scenario = s.Name
 		results[j.idx] = r
 	})
 	return results, nil
 }
 
-// runNoCPoint simulates one (pattern, rate, seed) point: warm up, then
-// measure over a fresh latency sample and counter snapshots so only
-// flits delivered inside the window count.
-func runNoCPoint(topo noc.Topology, c *NoCConfig, pattern noc.Pattern, rate float64, seed int64) Result {
-	warmup := c.WarmupCycles
+// runNoCPoint simulates one (router, pattern, rate, seed) point through
+// noc.Measure, the execution path shared with dse.RouterAblation and
+// cmd/medea-noc.
+func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) Result {
 	measure := c.MeasureCycles
 	if measure == 0 {
 		measure = 5000
@@ -193,45 +202,32 @@ func runNoCPoint(topo noc.Topology, c *NoCConfig, pattern noc.Pattern, rate floa
 	if c.Burst != nil {
 		burst = &noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}
 	}
-
-	e := sim.NewEngine()
-	n := noc.NewNetwork(e, topo)
-	for i := 0; i < topo.NumNodes(); i++ {
-		tn := noc.NewTrafficNode(i, topo, noc.TrafficConfig{
+	m := noc.Measure(topo, noc.MeasureConfig{
+		Router: router,
+		Traffic: noc.TrafficConfig{
 			Pattern:     pattern,
 			Rate:        rate,
 			HotspotNode: c.HotspotNode,
 			QueueCap:    c.QueueCap,
 			Burst:       burst,
-		}, seed)
-		n.Attach(i, tn)
-		e.Register(sim.PhaseNode, tn)
+		},
+		Warmup:  c.WarmupCycles,
+		Measure: measure,
+		Seed:    seed,
+	})
+	return Result{
+		Workload:       WorkloadNoC,
+		Router:         router.String(),
+		Pattern:        pattern.String(),
+		Rate:           rate,
+		Seed:           seed,
+		Bursty:         burst != nil,
+		Cycles:         m.Cycles,
+		Delivered:      m.Delivered,
+		Throughput:     m.Throughput,
+		MeanLatency:    m.MeanLatency,
+		P99Latency:     m.P99Latency,
+		DeflectionRate: m.DeflectionRate,
+		PeakBuffer:     m.PeakBuffer,
 	}
-
-	e.Run(warmup)
-	sample := &stats.Sample{}
-	n.Stats.LatencySample = sample
-	delivered0 := n.Stats.Delivered.Value()
-	deflected0 := n.TotalDeflections()
-	e.Run(measure)
-
-	delivered := n.Stats.Delivered.Value() - delivered0
-	deflected := n.TotalDeflections() - deflected0
-	r := Result{
-		Workload:  WorkloadNoC,
-		Pattern:   pattern.String(),
-		Rate:      rate,
-		Seed:      seed,
-		Bursty:    burst != nil,
-		Cycles:    measure,
-		Delivered: delivered,
-		Throughput: float64(delivered) / float64(measure) /
-			float64(topo.NumNodes()),
-		MeanLatency: sample.Mean(),
-		P99Latency:  sample.Percentile(99),
-	}
-	if delivered > 0 {
-		r.DeflectionRate = float64(deflected) / float64(delivered)
-	}
-	return r
 }

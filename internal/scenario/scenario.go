@@ -80,6 +80,9 @@ type NoCConfig struct {
 	// Patterns lists traffic patterns by name (see noc.PatternNames);
 	// one sweep axis.
 	Patterns []string `json:"patterns"`
+	// Routers lists router algorithms by name (see noc.RouterNames); one
+	// sweep axis. Empty means the paper's deflection router only.
+	Routers []string `json:"routers,omitempty"`
 	// Rates lists offered loads in flits/node/cycle, each in (0, 1];
 	// one sweep axis.
 	Rates []float64 `json:"rates"`
@@ -228,6 +231,17 @@ func (c *NoCConfig) validate() error {
 		}
 		seen[p] = true
 	}
+	seenR := map[noc.RouterKind]bool{}
+	for _, name := range c.Routers {
+		k, err := noc.ParseRouter(name)
+		if err != nil {
+			return fmt.Errorf(`"noc.routers": %w`, err)
+		}
+		if seenR[k] {
+			return fmt.Errorf(`"noc.routers": %v listed twice`, k)
+		}
+		seenR[k] = true
+	}
 	if len(c.Rates) == 0 {
 		return fmt.Errorf(`"noc.rates" must list at least one offered load in (0, 1]`)
 	}
@@ -321,7 +335,25 @@ func (s *Scenario) NumPoints() int {
 		}
 		return len(s.Jacobi.Cores) * len(s.Jacobi.CacheKB) * pols
 	}
-	return len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
+	return len(s.NoC.routerList()) * len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
+}
+
+// routerList resolves the router axis: the listed routers, or the paper's
+// deflection router when none are named. The scenario must have passed
+// Validate, so ParseRouter cannot fail here.
+func (c *NoCConfig) routerList() []noc.RouterKind {
+	if len(c.Routers) == 0 {
+		return []noc.RouterKind{noc.RouterDeflection}
+	}
+	kinds := make([]noc.RouterKind, len(c.Routers))
+	for i, name := range c.Routers {
+		k, err := noc.ParseRouter(name)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: validated router failed to parse: %v", err))
+		}
+		kinds[i] = k
+	}
+	return kinds
 }
 
 func parseVariant(s string) (jacobi.Variant, error) {

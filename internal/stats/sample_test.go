@@ -45,6 +45,73 @@ func TestSamplePercentileAgreesWithFreeFunction(t *testing.T) {
 	}
 }
 
+// TestSampleEdgeCases pins the nearest-rank boundary behaviour: empty
+// samples report zeros, a single element is every percentile, all-equal
+// values are flat, and p0/p100 clamp to the extreme ranks (p0 rounds the
+// rank up to 1, i.e. the minimum; p100 is the maximum).
+func TestSampleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		p    float64
+		want float64
+	}{
+		{"empty p0", nil, 0, 0},
+		{"empty p50", nil, 50, 0},
+		{"empty p100", nil, 100, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"all-equal p0", []float64{4, 4, 4, 4}, 0, 4},
+		{"all-equal p99", []float64{4, 4, 4, 4}, 99, 4},
+		{"p0 is the minimum", []float64{9, 2, 5}, 0, 2},
+		{"p100 is the maximum", []float64{9, 2, 5}, 100, 9},
+		// Nearest rank with n=4: rank = ceil(p/100*4), so p25 -> rank 1,
+		// p25.01 -> rank 2, p75 -> rank 3, p75.01 -> rank 4.
+		{"rank boundary p25", []float64{1, 2, 3, 4}, 25, 1},
+		{"rank boundary p25+eps", []float64{1, 2, 3, 4}, 25.01, 2},
+		{"rank boundary p75", []float64{1, 2, 3, 4}, 75, 3},
+		{"rank boundary p75+eps", []float64{1, 2, 3, 4}, 75.01, 4},
+		// Tiny p must still clamp the rank up to 1, not index vals[-1].
+		{"tiny p clamps to rank 1", []float64{8, 6}, 0.0001, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			for _, v := range tc.vals {
+				s.Observe(v)
+			}
+			if got := s.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) over %v = %v, want %v", tc.p, tc.vals, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSampleMeanEdgeCases covers the running-sum mean on the same corner
+// inputs.
+func TestSampleMeanEdgeCases(t *testing.T) {
+	var empty Sample
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+	var one Sample
+	one.Observe(-3.5)
+	if got := one.Mean(); got != -3.5 {
+		t.Errorf("single-element mean = %v, want -3.5", got)
+	}
+	var eq Sample
+	for i := 0; i < 5; i++ {
+		eq.Observe(2.5)
+	}
+	if got := eq.Mean(); got != 2.5 {
+		t.Errorf("all-equal mean = %v, want 2.5", got)
+	}
+	if got := eq.Max(); got != 2.5 {
+		t.Errorf("all-equal max = %v, want 2.5", got)
+	}
+}
+
 func TestSamplePercentileRangePanics(t *testing.T) {
 	var s Sample
 	defer func() {
