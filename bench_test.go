@@ -203,6 +203,31 @@ func BenchmarkRouterAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkTopologyAblation is the experiment T-3: the paper's deflection
+// router under identical uniform traffic on all three fabrics serving the
+// same endpoint grid, reporting per-fabric saturation throughput and
+// worst deflection cost. The ordering assertions live in
+// internal/scenario.TestTopologyAblationOrdering; this benchmark records
+// the numbers behind them.
+func BenchmarkTopologyAblation(b *testing.B) {
+	o := dse.DefaultTopologyAblationOptions()
+	for i := 0; i < b.N; i++ {
+		points, err := dse.TopologyAblation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + dse.TopologyAblationTable(o, points))
+			sat := dse.SaturationThroughputByTopology(points)
+			defl := dse.PeakDeflectionRateByTopology(points)
+			for _, kind := range noc.AllTopologies() {
+				b.ReportMetric(sat[kind], kind.String()+"-sat-throughput")
+				b.ReportMetric(defl[kind], kind.String()+"-peak-defl-rate")
+			}
+		}
+	}
+}
+
 // BenchmarkArbiterVariants is the ablation A-2: the three NoC-access
 // arbiter configurations of Section II-B under the Jacobi workload.
 func BenchmarkArbiterVariants(b *testing.B) {

@@ -1,15 +1,18 @@
 // Command medea-noc characterizes the bare network-on-chip: it sweeps the
-// offered load for a chosen traffic pattern and router and prints latency,
-// throughput, deflection and buffer statistics; optionally the buffered XY
-// baseline runs alongside for a direct comparison. Output can be emitted
-// as CSV for plotting. For multi-pattern, multi-router or multi-seed
-// sweeps use cmd/medea-scenarios with a scenario file instead.
+// offered load for a chosen traffic pattern, router and topology and
+// prints latency, throughput, deflection and buffer statistics;
+// optionally the buffered XY baseline runs alongside for a direct
+// comparison. Output can be emitted as CSV for plotting. For
+// multi-pattern, multi-router, multi-topology or multi-seed sweeps use
+// cmd/medea-scenarios with a scenario file instead.
 //
 // Example:
 //
 //	medea-noc -w 4 -h 4 -pattern transpose -xy -csv transpose.csv
 //	medea-noc -router wormhole -pattern tornado -burst-on 25 -burst-off 75
 //	medea-noc -router adaptive -loads 0.1,0.3,0.5
+//	medea-noc -topo mesh -pattern uniform
+//	medea-noc -topo cmesh -w 8 -h 8
 package main
 
 import (
@@ -45,12 +48,14 @@ func main() {
 // run executes the CLI against args, writing the result table to stdout.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("medea-noc", flag.ContinueOnError)
-	w := fs.Int("w", 4, "torus width (>= 2)")
-	h := fs.Int("h", 4, "torus height (>= 2)")
+	w := fs.Int("w", 4, "endpoint grid width (>= 2; cmesh needs even and >= 4)")
+	h := fs.Int("h", 4, "endpoint grid height (>= 2; cmesh needs even and >= 4)")
 	pattern := fs.String("pattern", "uniform",
 		"traffic pattern, by name or index: "+strings.Join(noc.PatternNames(), " | "))
 	router := fs.String("router", "deflection",
 		"router algorithm, by name or index: "+strings.Join(noc.RouterNames(), " | "))
+	topoFlag := fs.String("topo", "torus",
+		"topology, by name or index: "+strings.Join(noc.TopologyNames(), " | "))
 	hotspot := fs.Int("hotspot", 0, "hotspot destination node (hotspot pattern only)")
 	cycles := fs.Int64("cycles", 5000, "simulated cycles per load point")
 	seed := fs.Int64("seed", 1, "traffic RNG seed (runs are deterministic per seed)")
@@ -61,7 +66,7 @@ func run(args []string, stdout io.Writer) error {
 	loads := fs.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "comma-separated offered loads (flits/node/cycle, each in (0, 1])")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(),
-			"usage: medea-noc [flags]\n\nSweeps offered load for one synthetic traffic pattern and router on a\nWxH folded torus and reports latency, throughput, deflection and buffer\nstatistics.\n\nFlags:\n")
+			"usage: medea-noc [flags]\n\nSweeps offered load for one synthetic traffic pattern and router on a\nWxH fabric (folded torus, mesh or concentrated mesh) and reports\nlatency, throughput, deflection and buffer statistics.\n\nFlags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +80,15 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
 
-	topo, err := noc.NewTopology(*w, *h)
+	// Topology and size validate together: the kind constrains the legal
+	// grids (mesh rejects 1xN lines, cmesh rejects grids not divisible by
+	// its 2x2 concentration tile), so a bad -topo/-w/-h combination is a
+	// usage error before any cycle is simulated.
+	tk, err := noc.ParseTopology(*topoFlag)
+	if err != nil {
+		return err
+	}
+	topo, err := noc.NewTopologyOfKind(tk, *w, *h)
 	if err != nil {
 		return err
 	}
@@ -90,9 +103,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *hotspot < 0 || *hotspot >= topo.NumNodes() {
-		return fmt.Errorf("hotspot node %d outside the %dx%d torus (0..%d)",
-			*hotspot, *w, *h, topo.NumNodes()-1)
+	if *hotspot < 0 || *hotspot >= topo.NumEndpoints() {
+		return fmt.Errorf("hotspot node %d outside the %dx%d endpoint grid (0..%d)",
+			*hotspot, *w, *h, topo.NumEndpoints()-1)
 	}
 	if *cycles <= 0 {
 		return fmt.Errorf("-cycles must be > 0, got %d", *cycles)
@@ -125,7 +138,7 @@ func run(args []string, stdout io.Writer) error {
 	if burst != nil {
 		desc = fmt.Sprintf("bursty %s (on %g / off %g)", pat, burst.MeanOn, burst.MeanOff)
 	}
-	fmt.Fprintf(&b, "%dx%d folded torus, %s traffic, %s router, %d cycles/point\n", *w, *h, desc, kind, *cycles)
+	fmt.Fprintf(&b, "%dx%d %s, %s traffic, %s router, %d cycles/point\n", *w, *h, topoDesc(topo), desc, kind, *cycles)
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
 	head := "load\tthroughput\tlatency\tp99\thops\tdeflections\tpeak-buf\t"
 	if *withXY {
@@ -145,10 +158,10 @@ func run(args []string, stdout io.Writer) error {
 
 	if *csvPath != "" {
 		var c strings.Builder
-		c.WriteString("load,router,throughput,latency,p99,hops,deflections,peak_buffer,xy_throughput,xy_latency,xy_peak_buffer\n")
+		c.WriteString("load,router,topology,throughput,latency,p99,hops,deflections,peak_buffer,xy_throughput,xy_latency,xy_peak_buffer\n")
 		for _, r := range rows {
-			fmt.Fprintf(&c, "%g,%s,%g,%g,%g,%g,%d,%d,%g,%g,%d\n",
-				r.load, kind, r.throughput, r.latency, r.p99, r.hops, r.deflections,
+			fmt.Fprintf(&c, "%g,%s,%s,%g,%g,%g,%g,%d,%d,%g,%g,%d\n",
+				r.load, kind, tk, r.throughput, r.latency, r.p99, r.hops, r.deflections,
 				r.peakBuf, r.xyThroughput, r.xyLatency, r.xyPeakBuf)
 		}
 		if err := os.WriteFile(*csvPath, []byte(c.String()), 0o644); err != nil {
@@ -196,6 +209,19 @@ type row struct {
 
 func trafficCfg(pat noc.Pattern, hot int, rate float64, burst *noc.BurstConfig) noc.TrafficConfig {
 	return noc.TrafficConfig{Pattern: pat, Rate: rate, HotspotNode: hot, Burst: burst}
+}
+
+// topoDesc names the fabric in the table header, keeping the paper's
+// "folded torus" phrasing for the default.
+func topoDesc(topo noc.Topology) string {
+	switch topo.Kind() {
+	case noc.TopoTorus:
+		return "folded torus"
+	case noc.TopoCMesh:
+		w, h := topo.Dims()
+		return fmt.Sprintf("cmesh (%dx%d switches)", w, h)
+	}
+	return topo.Kind().String()
 }
 
 func measureRouter(topo noc.Topology, kind noc.RouterKind, cfg noc.TrafficConfig, cycles, seed int64) row {

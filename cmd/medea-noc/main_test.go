@@ -63,7 +63,7 @@ func TestCLIErrors(t *testing.T) {
 		{"-w", "1"},          // degenerate torus
 		{"-pattern", "nope"}, // unknown pattern
 		{"-router", "nope"},  // unknown router
-		{"-hotspot", "99"},   // hotspot off the torus
+		{"-hotspot", "99"},   // hotspot off the grid
 		{"-cycles", "0"},     // empty measurement window
 		{"-burst-on", "5"},   // burst-off missing (< 1 cycle)
 		{"-pattern", "shuffle", "-w", "3", "-h", "3"}, // bit pattern needs pow2 nodes
@@ -74,6 +74,44 @@ func TestCLIErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted; want error", args)
 		}
+	}
+}
+
+// TestTopologyFlag pins the -topo contract: every defined topology runs
+// at a size legal for all kinds, the header names the fabric, and
+// invalid -topo/size combinations are usage errors, mirroring the -loads
+// validation.
+func TestTopologyFlag(t *testing.T) {
+	for _, name := range noc.TopologyNames() {
+		var out strings.Builder
+		if err := run([]string{"-topo", name, "-w", "4", "-h", "4", "-loads", "0.1", "-cycles", "200"}, &out); err != nil {
+			t.Errorf("-topo %s: %v", name, err)
+			continue
+		}
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-topo %s: header does not name the topology:\n%s", name, out.String())
+		}
+	}
+	bad := [][]string{
+		{"-topo", "nope"},                                          // unknown topology
+		{"-topo", "mesh", "-w", "1", "-h", "8"},                    // 1xN mesh line
+		{"-topo", "mesh", "-w", "8", "-h", "1"},                    // Nx1 mesh line
+		{"-topo", "cmesh", "-w", "5", "-h", "4"},                   // width not divisible by the tile
+		{"-topo", "cmesh", "-w", "4", "-h", "6.5"},                 // non-integer size
+		{"-topo", "cmesh", "-w", "2", "-h", "2"},                   // switch grid would be 1x1
+		{"-topo", "cmesh", "-hotspot", "70", "-w", "8", "-h", "8"}, // hotspot past the 64 endpoints
+	}
+	for _, args := range bad {
+		var out strings.Builder
+		if err := run(append(args, "-cycles", "100"), &out); err == nil {
+			t.Errorf("args %v accepted; want a usage error", args)
+		}
+	}
+	// cmesh addresses endpoints, not switches: hotspot 63 is the last
+	// endpoint of an 8x8 grid even though there are only 16 switches.
+	var out strings.Builder
+	if err := run([]string{"-topo", "cmesh", "-w", "8", "-h", "8", "-hotspot", "63", "-pattern", "hotspot", "-loads", "0.05", "-cycles", "200"}, &out); err != nil {
+		t.Errorf("cmesh hotspot on last endpoint rejected: %v", err)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	medea-scenarios -validate examples/scenarios/*.json
 //	medea-scenarios -patterns
 //	medea-scenarios -routers
+//	medea-scenarios -topologies
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 	validate := fs.Bool("validate", false, "load and validate the scenario files without running them")
 	patterns := fs.Bool("patterns", false, "list the available traffic patterns and exit")
 	routers := fs.Bool("routers", false, "list the available router algorithms and exit")
+	topologies := fs.Bool("topologies", false, "list the available topologies and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: medea-scenarios [flags] scenario.json [scenario.json ...]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs declarative scenario files (see examples/scenarios/ and the\n")
@@ -68,6 +70,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *routers {
 		fmt.Fprintf(stdout, "%s\n", strings.Join(noc.RouterNames(), "\n"))
+		return nil
+	}
+	if *topologies {
+		fmt.Fprintf(stdout, "%s\n", strings.Join(noc.TopologyNames(), "\n"))
 		return nil
 	}
 	if fs.NArg() == 0 {

@@ -79,6 +79,18 @@ func TestRoutersFlagListsEverything(t *testing.T) {
 	}
 }
 
+func TestTopologiesFlagListsEverything(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-topologies"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range noc.TopologyNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-topologies output missing %q", name)
+		}
+	}
+}
+
 func TestOutFlagWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "r.csv")
 	var out strings.Builder

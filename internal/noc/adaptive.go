@@ -35,10 +35,13 @@ type AdaptiveSwitch struct {
 }
 
 // wireNeighbors resolves the downstream switch behind every output port;
-// called by NewRouterNetwork after all switches exist.
+// called by NewRouterNetwork after all switches exist. Ports the fabric
+// defines no link for stay nil and pickPort never offers them.
 func (s *AdaptiveSwitch) wireNeighbors(n *Network) {
 	for p := Port(0); p < NumPorts; p++ {
-		s.nbr[p] = n.Routers[s.topo.Neighbor(s.id, p)]
+		if nb, ok := s.topo.Neighbor(s.id, p); ok {
+			s.nbr[p] = n.Routers[nb]
+		}
 	}
 }
 
@@ -65,11 +68,12 @@ func (s *AdaptiveSwitch) downstreamLoad(p Port) int {
 
 // pickPort returns the free port among candidates with the least
 // downstream contention (ties broken by candidate order), or ok=false
-// when every candidate is taken.
+// when every candidate is taken. Candidate ports without a link (mesh
+// edges, reachable through the allPorts deflection fallback) are skipped.
 func (s *AdaptiveSwitch) pickPort(candidates []Port, taken *[NumPorts]bool) (Port, bool) {
 	best, bestLoad, found := Port(0), 0, false
 	for _, p := range candidates {
-		if taken[p] {
+		if taken[p] || s.nbr[p] == nil {
 			continue
 		}
 		load := s.downstreamLoad(p)
@@ -90,9 +94,10 @@ var allPorts = [NumPorts]Port{East, West, North, South}
 func (s *AdaptiveSwitch) Step(now int64) {
 	pool := s.pool[:0]
 	for p := 0; p < int(NumPorts); p++ {
-		if s.in[p].Valid() {
+		if s.in[p] != nil && s.in[p].Valid() {
 			f, _ := s.in[p].Get()
-			pool = append(pool, routedFlit{f: f, inPort: p})
+			dx, dy := s.dstSwitch(f)
+			pool = append(pool, routedFlit{f: f, inPort: p, dx: dx, dy: dy})
 		}
 	}
 	var taken [NumPorts]bool
@@ -116,11 +121,14 @@ func (s *AdaptiveSwitch) Step(now int64) {
 		if f, ok := s.local.TryPull(); ok {
 			s.Stats.Injected.Inc()
 			s.net.noteInjected()
-			s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(f.DstX), int(f.DstY))
+			dx, dy := s.dstSwitch(f)
+			s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, dx, dy)
 			if p, ok := s.pickPort(s.ports, &taken); ok {
 				place(f, p, true)
+			} else if p, ok := s.pickPort(allPorts[:], &taken); ok {
+				place(f, p, false) // degenerate self-addressed case
 			} else {
-				place(f, allPorts[0], false) // degenerate self-addressed case
+				panic("noc: adaptive switch has no ports")
 			}
 			for p := Port(0); p < NumPorts; p++ {
 				if assignedOK[p] {
@@ -134,7 +142,7 @@ func (s *AdaptiveSwitch) Step(now int64) {
 	// Ejection: pick the oldest flit addressed to this node.
 	ejectIdx := -1
 	for i := range pool {
-		if int(pool[i].f.DstX) != s.x || int(pool[i].f.DstY) != s.y {
+		if pool[i].dx != s.x || pool[i].dy != s.y {
 			continue
 		}
 		if ejectIdx < 0 || older(pool[i], pool[ejectIdx]) {
@@ -158,14 +166,14 @@ func (s *AdaptiveSwitch) Step(now int64) {
 
 	deflect := pool[:0] // flits that did not get a productive port
 	for _, rf := range pool {
-		atDst := int(rf.f.DstX) == s.x && int(rf.f.DstY) == s.y
+		atDst := rf.dx == s.x && rf.dy == s.y
 		if atDst {
 			// Lost the ejection port this cycle; must keep moving.
 			s.Stats.EjectMissed.Inc()
 			deflect = append(deflect, rf)
 			continue
 		}
-		s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(rf.f.DstX), int(rf.f.DstY))
+		s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, rf.dx, rf.dy)
 		if p, ok := s.pickPort(s.ports, &taken); ok {
 			place(rf.f, p, true)
 		} else {
@@ -175,7 +183,8 @@ func (s *AdaptiveSwitch) Step(now int64) {
 	for _, rf := range deflect {
 		p, ok := s.pickPort(allPorts[:], &taken)
 		if !ok {
-			// Cannot happen: at most 4 flits compete for 4 ports.
+			// Cannot happen: arrivals never exceed the switch's real
+			// ports (a mesh corner has two links, at most two arrivals).
 			panic("noc: adaptive switch dropped a flit")
 		}
 		place(rf.f, p, false)
@@ -184,7 +193,7 @@ func (s *AdaptiveSwitch) Step(now int64) {
 	// Injection: only when an output slot is left over.
 	if f, ok := func() (flit.Flit, bool) {
 		for p := Port(0); p < NumPorts; p++ {
-			if !taken[p] {
+			if s.out[p] != nil && !taken[p] {
 				return s.local.TryPull()
 			}
 		}
@@ -192,7 +201,8 @@ func (s *AdaptiveSwitch) Step(now int64) {
 	}(); ok {
 		s.Stats.Injected.Inc()
 		s.net.noteInjected()
-		s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(f.DstX), int(f.DstY))
+		dx, dy := s.dstSwitch(f)
+		s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, dx, dy)
 		if p, ok := s.pickPort(s.ports, &taken); ok {
 			place(f, p, true)
 		} else if p, ok := s.pickPort(allPorts[:], &taken); ok {

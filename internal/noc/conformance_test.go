@@ -9,33 +9,38 @@ import (
 )
 
 // This file is the differential conformance harness: every router
-// implementation runs under every traffic pattern on a 4x4 and an 8x8
-// torus, and must satisfy the same conservation invariants every cycle —
-// independent implementations acting as each other's oracle. Routers may
-// disagree on latency and throughput (that is the point of the ablation);
-// they may never disagree on whether flits exist.
+// implementation runs under every traffic pattern on every topology kind
+// (4x4 and 8x8 endpoint grids), and must satisfy the same conservation
+// invariants every cycle — independent implementations acting as each
+// other's oracle. Routers and fabrics may disagree on latency and
+// throughput (that is the point of the ablations); they may never
+// disagree on whether flits exist. Pattern/topology combinations that
+// per-topology validation legitimately rejects are skipped (none on these
+// square power-of-two grids, but the harness asks rather than assumes).
 //
 // Checked every cycle:
 //   - conservation: injected == delivered + in flight (links + buffers)
 //   - no duplication: every delivered PacketID is seen exactly once
-//   - correct delivery: a flit only ejects at its addressed node
+//   - correct delivery: a flit only ejects at its addressed endpoint
 //   - bounded population: in-flight flits never exceed the network's
-//     physical storage (links, plus buffer capacity for buffered kinds)
+//     physical storage (real links — mesh edges have none — plus buffer
+//     capacity for buffered kinds)
 //   - bufferless kinds additionally store nothing, ever
 //   - the wormhole kind additionally never drives a credit negative
 //
 // After injection stops the network must drain completely: every injected
-// flit delivered, nothing in flight — which doubles as a deadlock and
-// livelock check for the buffered kinds (a deadlocked wormhole network
-// would hold flits forever; a livelocked deflection network would keep
-// them moving forever).
+// flit delivered, nothing in flight, nothing latched in a concentrator —
+// which doubles as a deadlock and livelock check for the buffered kinds
+// (a deadlocked wormhole network would hold flits forever; a livelocked
+// deflection network would keep them moving forever) and exercises the
+// mesh corner switches, which have only two escape ports.
 
 // checkedPort wraps a TrafficNode as the LocalPort so deliveries can be
-// verified: right destination, no duplicates.
+// verified: right destination endpoint, no duplicates.
 type checkedPort struct {
 	t    *testing.T
 	node *TrafficNode
-	x, y int
+	x, y int             // endpoint coordinates
 	seen map[uint64]bool // shared across all ports of one network
 }
 
@@ -52,10 +57,24 @@ func (c *checkedPort) Deliver(f flit.Flit, now int64) {
 	c.node.Deliver(f, now)
 }
 
+// numLinks counts the directed links the fabric actually defines (the
+// torus has NumNodes*NumPorts; mesh fabrics lack the boundary crossers).
+func numLinks(topo Topology) int {
+	links := 0
+	for id := 0; id < topo.NumNodes(); id++ {
+		for p := Port(0); p < NumPorts; p++ {
+			if _, ok := topo.Neighbor(id, p); ok {
+				links++
+			}
+		}
+	}
+	return links
+}
+
 // maxInFlight returns the network's physical storage capacity in flits:
 // one per directed link, plus each switch's buffer capacity.
 func maxInFlight(n *Network) int {
-	links := n.Topo.NumNodes() * int(NumPorts)
+	links := numLinks(n.Topo)
 	switch n.Kind {
 	case RouterDeflection, RouterAdaptive:
 		return links
@@ -91,6 +110,16 @@ func checkInvariants(t *testing.T, n *Network, cycle int) {
 			}
 		}
 	}
+	// Per-switch accounting: every delivery happened at some switch's
+	// ejection port or inside a crossbar (same-switch turnaround).
+	var ejected int64
+	for _, r := range n.Routers {
+		ejected += r.EjectedCount()
+	}
+	if total := ejected + n.ConcentratorTurnarounds(); total != del {
+		t.Fatalf("cycle %d: per-switch ejections %d + crossbar turnarounds %d != delivered %d",
+			cycle, ejected, n.ConcentratorTurnarounds(), del)
+	}
 }
 
 func TestRouterConformance(t *testing.T) {
@@ -99,105 +128,117 @@ func TestRouterConformance(t *testing.T) {
 		drainCycles  = 20000
 		rate         = 0.6
 	)
-	for _, dims := range [][2]int{{4, 4}, {8, 8}} {
-		topo, err := NewTopology(dims[0], dims[1])
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, kind := range AllRouters() {
-			for _, pattern := range AllPatterns() {
-				name := fmt.Sprintf("%dx%d/%v/%v", dims[0], dims[1], kind, pattern)
-				t.Run(name, func(t *testing.T) {
-					if err := ValidatePattern(pattern, topo); err != nil {
-						t.Fatal(err) // both grids are square powers of two
-					}
-					e := sim.NewEngine()
-					n := NewRouterNetwork(e, topo, kind)
-					seen := make(map[uint64]bool)
-					nodes := make([]*TrafficNode, topo.NumNodes())
-					for i := range nodes {
-						nodes[i] = NewTrafficNode(i, topo, TrafficConfig{
-							Pattern: pattern, Rate: rate, HotspotNode: topo.NumNodes() / 2,
-						}, 42+int64(i%3))
-						x, y := topo.Coord(i)
-						n.Attach(i, &checkedPort{t: t, node: nodes[i], x: x, y: y, seen: seen})
-					}
-					// Injection phase: nodes step manually so they can be
-					// stopped; invariants hold on every cycle boundary.
-					for c := 0; c < injectCycles; c++ {
-						for _, tn := range nodes {
-							tn.Step(e.Now())
+	for _, tk := range AllTopologies() {
+		for _, dims := range [][2]int{{4, 4}, {8, 8}} {
+			topo, err := NewTopologyOfKind(tk, dims[0], dims[1])
+			if err != nil {
+				t.Fatal(err) // both endpoint grids are valid on every kind
+			}
+			for _, kind := range AllRouters() {
+				for _, pattern := range AllPatterns() {
+					name := fmt.Sprintf("%v/%dx%d/%v/%v", tk, dims[0], dims[1], kind, pattern)
+					t.Run(name, func(t *testing.T) {
+						if err := ValidatePattern(pattern, topo); err != nil {
+							t.Skip(err) // per-topology validation rejects this combination
 						}
-						e.Tick()
-						checkInvariants(t, n, c)
-					}
-					// Drain phase: no new flits enter the source queues;
-					// the switches keep pulling what is already queued and
-					// the network must empty. This bounds both deadlock
-					// (wormhole credits) and livelock (deflection).
-					c := 0
-					for ; c < drainCycles; c++ {
-						if n.InFlight() == 0 && n.Stats.Delivered.Value() == n.Stats.Injected.Value() {
-							pending := 0
+						e := sim.NewEngine()
+						n := NewRouterNetwork(e, topo, kind)
+						seen := make(map[uint64]bool)
+						nodes := make([]*TrafficNode, topo.NumEndpoints())
+						for i := range nodes {
+							nodes[i] = NewTrafficNode(i, topo, TrafficConfig{
+								Pattern: pattern, Rate: rate, HotspotNode: topo.NumEndpoints() / 2,
+							}, 42+int64(i%3))
+							x, y := topo.EndpointCoord(i)
+							n.Attach(i, &checkedPort{t: t, node: nodes[i], x: x, y: y, seen: seen})
+						}
+						// Injection phase: nodes step manually so they can be
+						// stopped; invariants hold on every cycle boundary.
+						for c := 0; c < injectCycles; c++ {
 							for _, tn := range nodes {
-								pending += tn.Pending()
+								tn.Step(e.Now())
 							}
-							if pending == 0 {
-								break
+							e.Tick()
+							checkInvariants(t, n, c)
+						}
+						// Drain phase: no new flits enter the source queues;
+						// the switches keep pulling what is already queued and
+						// the network must empty. This bounds both deadlock
+						// (wormhole credits) and livelock (deflection), and on
+						// concentrated topologies the crossbar latches must
+						// empty too (a latched flit is still source-side).
+						c := 0
+						for ; c < drainCycles; c++ {
+							if n.InFlight() == 0 && n.Stats.Delivered.Value() == n.Stats.Injected.Value() {
+								pending := n.ConcentratorHeld()
+								for _, tn := range nodes {
+									pending += tn.Pending()
+								}
+								if pending == 0 {
+									break
+								}
+							}
+							e.Tick()
+							if c%16 == 0 {
+								checkInvariants(t, n, injectCycles+c)
 							}
 						}
-						e.Tick()
-						if c%16 == 0 {
-							checkInvariants(t, n, injectCycles+c)
+						checkInvariants(t, n, injectCycles+c)
+						if n.InFlight() != 0 {
+							t.Fatalf("%d flits still in flight after %d drain cycles (deadlock or livelock)",
+								n.InFlight(), drainCycles)
 						}
-					}
-					checkInvariants(t, n, injectCycles+c)
-					if n.InFlight() != 0 {
-						t.Fatalf("%d flits still in flight after %d drain cycles (deadlock or livelock)",
-							n.InFlight(), drainCycles)
-					}
-					if del, inj := n.Stats.Delivered.Value(), n.Stats.Injected.Value(); del != inj {
-						t.Fatalf("delivered %d != injected %d after drain", del, inj)
-					}
-					if n.Stats.Delivered.Value() == 0 {
-						t.Fatal("conformance run delivered no traffic")
-					}
-					if int64(len(seen)) != n.Stats.Delivered.Value() {
-						t.Fatalf("recorded %d unique packets, network counted %d deliveries",
-							len(seen), n.Stats.Delivered.Value())
-					}
-				})
+						if held := n.ConcentratorHeld(); held != 0 {
+							t.Fatalf("%d flits still latched in concentrators after drain", held)
+						}
+						if del, inj := n.Stats.Delivered.Value(), n.Stats.Injected.Value(); del != inj {
+							t.Fatalf("delivered %d != injected %d after drain", del, inj)
+						}
+						if n.Stats.Delivered.Value() == 0 {
+							t.Fatal("conformance run delivered no traffic")
+						}
+						if int64(len(seen)) != n.Stats.Delivered.Value() {
+							t.Fatalf("recorded %d unique packets, network counted %d deliveries",
+								len(seen), n.Stats.Delivered.Value())
+						}
+					})
+				}
 			}
 		}
 	}
 }
 
-// TestRouterDeterminism extends the determinism contract to every router
-// kind: identical configuration and seed must give bit-identical traffic
-// statistics.
+// TestRouterDeterminism extends the determinism contract to every
+// (router, topology) combination: identical configuration and seed must
+// give bit-identical traffic statistics.
 func TestRouterDeterminism(t *testing.T) {
-	for _, kind := range AllRouters() {
-		kind := kind
-		t.Run(kind.String(), func(t *testing.T) {
-			run := func() (int64, float64, int64, int) {
-				topo, _ := NewTopology(4, 4)
-				e := sim.NewEngine()
-				n := NewRouterNetwork(e, topo, kind)
-				for i := 0; i < topo.NumNodes(); i++ {
-					tn := NewTrafficNode(i, topo, TrafficConfig{Pattern: Uniform, Rate: 0.5}, 99)
-					n.Attach(i, tn)
-					e.Register(sim.PhaseNode, tn)
+	for _, tk := range AllTopologies() {
+		for _, kind := range AllRouters() {
+			tk, kind := tk, kind
+			t.Run(fmt.Sprintf("%v/%v", tk, kind), func(t *testing.T) {
+				run := func() (int64, float64, int64, int) {
+					topo, err := NewTopologyOfKind(tk, 4, 4)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e := sim.NewEngine()
+					n := NewRouterNetwork(e, topo, kind)
+					for i := 0; i < topo.NumEndpoints(); i++ {
+						tn := NewTrafficNode(i, topo, TrafficConfig{Pattern: Uniform, Rate: 0.5}, 99)
+						n.Attach(i, tn)
+						e.Register(sim.PhaseNode, tn)
+					}
+					e.Run(1000)
+					return n.Stats.Delivered.Value(), n.Stats.Latency.Mean(),
+						n.TotalDeflections(), n.PeakBuffer()
 				}
-				e.Run(1000)
-				return n.Stats.Delivered.Value(), n.Stats.Latency.Mean(),
-					n.TotalDeflections(), n.PeakBuffer()
-			}
-			d1, l1, f1, p1 := run()
-			d2, l2, f2, p2 := run()
-			if d1 != d2 || l1 != l2 || f1 != f2 || p1 != p2 {
-				t.Fatalf("non-deterministic %v router: (%d,%v,%d,%d) vs (%d,%v,%d,%d)",
-					kind, d1, l1, f1, p1, d2, l2, f2, p2)
-			}
-		})
+				d1, l1, f1, p1 := run()
+				d2, l2, f2, p2 := run()
+				if d1 != d2 || l1 != l2 || f1 != f2 || p1 != p2 {
+					t.Fatalf("non-deterministic %v/%v: (%d,%v,%d,%d) vs (%d,%v,%d,%d)",
+						tk, kind, d1, l1, f1, p1, d2, l2, f2, p2)
+				}
+			})
+		}
 	}
 }

@@ -41,6 +41,7 @@ type SwitchStats struct {
 type routedFlit struct {
 	f      flit.Flit
 	inPort int // arrival port, used as deterministic tie-break
+	dx, dy int // destination switch coordinates (resolved once on arrival)
 }
 
 // Name implements sim.Component.
@@ -62,9 +63,10 @@ func (s *DeflSwitch) EjectedCount() int64 { return s.Stats.Ejected.Value() }
 func (s *DeflSwitch) Step(now int64) {
 	pool := s.pool[:0]
 	for p := 0; p < int(NumPorts); p++ {
-		if s.in[p].Valid() {
+		if s.in[p] != nil && s.in[p].Valid() {
 			f, _ := s.in[p].Get()
-			pool = append(pool, routedFlit{f: f, inPort: p})
+			dx, dy := s.dstSwitch(f)
+			pool = append(pool, routedFlit{f: f, inPort: p, dx: dx, dy: dy})
 		}
 	}
 	if len(pool) == 0 {
@@ -81,7 +83,7 @@ func (s *DeflSwitch) Step(now int64) {
 	// Ejection: pick the oldest flit addressed to this node.
 	ejectIdx := -1
 	for i := range pool {
-		if int(pool[i].f.DstX) != s.x || int(pool[i].f.DstY) != s.y {
+		if pool[i].dx != s.x || pool[i].dy != s.y {
 			continue
 		}
 		if ejectIdx < 0 || older(pool[i], pool[ejectIdx]) {
@@ -122,14 +124,14 @@ func (s *DeflSwitch) Step(now int64) {
 
 	deflect := pool[:0] // flits that did not get a productive port
 	for _, rf := range pool {
-		atDst := int(rf.f.DstX) == s.x && int(rf.f.DstY) == s.y
+		atDst := rf.dx == s.x && rf.dy == s.y
 		if atDst {
 			// Lost the ejection port this cycle; must keep moving.
 			s.Stats.EjectMissed.Inc()
 			deflect = append(deflect, rf)
 			continue
 		}
-		s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(rf.f.DstX), int(rf.f.DstY))
+		s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, rf.dx, rf.dy)
 		placed := false
 		for _, p := range s.ports {
 			if !taken[p] {
@@ -145,14 +147,17 @@ func (s *DeflSwitch) Step(now int64) {
 	for _, rf := range deflect {
 		placed := false
 		for p := Port(0); p < NumPorts; p++ {
-			if !taken[p] {
-				place(rf.f, p, false)
-				placed = true
-				break
+			if s.out[p] == nil || taken[p] {
+				continue
 			}
+			place(rf.f, p, false)
+			placed = true
+			break
 		}
 		if !placed {
-			// Cannot happen: at most 4 flits compete for 4 ports.
+			// Cannot happen: arrivals never exceed the switch's real
+			// ports (a mesh corner has two links, so at most two flits
+			// arrive), so every flit finds a free real port.
 			panic("noc: deflection switch dropped a flit")
 		}
 	}
@@ -160,7 +165,7 @@ func (s *DeflSwitch) Step(now int64) {
 	// Injection: only when an output slot is left over.
 	free := false
 	for p := Port(0); p < NumPorts; p++ {
-		if !taken[p] {
+		if s.out[p] != nil && !taken[p] {
 			free = true
 			break
 		}
@@ -170,7 +175,8 @@ func (s *DeflSwitch) Step(now int64) {
 			s.Stats.Injected.Inc()
 			s.net.noteInjected()
 			// Prefer a free productive port; fall back to any free port.
-			s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(f.DstX), int(f.DstY))
+			dx, dy := s.dstSwitch(f)
+			s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, dx, dy)
 			placed := false
 			for _, p := range s.ports {
 				if !taken[p] {
@@ -181,11 +187,12 @@ func (s *DeflSwitch) Step(now int64) {
 			}
 			if !placed {
 				for p := Port(0); p < NumPorts; p++ {
-					if !taken[p] {
-						place(f, p, false)
-						placed = true
-						break
+					if s.out[p] == nil || taken[p] {
+						continue
 					}
+					place(f, p, false)
+					placed = true
+					break
 				}
 			}
 			if !placed {
@@ -209,13 +216,20 @@ func (s *DeflSwitch) Step(now int64) {
 func (s *DeflSwitch) injectIntoIdle(f flit.Flit) {
 	s.Stats.Injected.Inc()
 	s.net.noteInjected()
-	s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, int(f.DstX), int(f.DstY))
+	dx, dy := s.dstSwitch(f)
+	s.ports = s.topo.ProductivePorts(s.ports[:0], s.x, s.y, dx, dy)
 	f.Meta.Hops++
 	p := Port(0)
 	if len(s.ports) > 0 {
 		p = s.ports[0]
 		s.Stats.Productive.Inc()
 	} else {
+		for q := Port(0); q < NumPorts; q++ {
+			if s.out[q] != nil {
+				p = q
+				break
+			}
+		}
 		f.Meta.Deflections++
 		s.Stats.Deflected.Inc()
 	}

@@ -89,7 +89,7 @@ func TestInjectionGatedBySaturation(t *testing.T) {
 	n.Attach(mid, victim)
 	feeders := map[int]*collector{}
 	for p := Port(0); p < NumPorts; p++ {
-		nb := topo.Neighbor(mid, p)
+		nb := mustNeighbor(topo, mid, p)
 		c := &collector{}
 		feeders[nb] = c
 		n.Attach(nb, c)
@@ -97,8 +97,8 @@ func TestInjectionGatedBySaturation(t *testing.T) {
 	// Fill feeders with long streams that pass through mid: destination
 	// two hops past mid in the same direction.
 	for p := Port(0); p < NumPorts; p++ {
-		nb := topo.Neighbor(mid, p)
-		through := topo.Neighbor(mid, p.Opposite()) // straight across
+		nb := mustNeighbor(topo, mid, p)
+		through := mustNeighbor(topo, mid, p.Opposite()) // straight across
 		for k := 0; k < 20; k++ {
 			f := mkFlit(topo, nb, through, uint64(1000+k))
 			f.Meta.InjectCycle = 0 // very old: always wins arbitration
@@ -131,8 +131,8 @@ func TestAtDestinationDeflectionReturns(t *testing.T) {
 	h := newHarness(t)
 	topo := h.n.Topo
 	dst := topo.ID(1, 1)
-	left := topo.Neighbor(dst, West)
-	right := topo.Neighbor(dst, East)
+	left := mustNeighbor(topo, dst, West)
+	right := mustNeighbor(topo, dst, East)
 	h.cols[left].out = append(h.cols[left].out, h.flit(left, dst, 1, 0))
 	h.cols[right].out = append(h.cols[right].out, h.flit(right, dst, 2, 0))
 	h.e.Run(40)

@@ -31,6 +31,36 @@ func FuzzParsePattern(f *testing.F) {
 	})
 }
 
+// FuzzParseTopology mirrors FuzzParsePattern for the topology axis: any
+// input must either resolve to a defined kind or return an error — never
+// panic — and a successful parse must round-trip through the canonical
+// name.
+func FuzzParseTopology(f *testing.F) {
+	for _, name := range TopologyNames() {
+		f.Add(name)
+	}
+	f.Add("TORUS")
+	f.Add(" c_mesh ")
+	f.Add("2")
+	f.Add("-1")
+	f.Add("99999999999999999999")
+	f.Add("")
+	f.Add("t0polog\xfe")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseTopology(s)
+		if err != nil {
+			return
+		}
+		if k < 0 || k >= numTopologies {
+			t.Fatalf("ParseTopology(%q) = %d outside the defined range", s, int(k))
+		}
+		back, err := ParseTopology(k.String())
+		if err != nil || back != k {
+			t.Fatalf("round trip failed: %q -> %v -> (%v, %v)", s, k, back, err)
+		}
+	})
+}
+
 // FuzzParseRouter mirrors FuzzParsePattern for the router axis.
 func FuzzParseRouter(f *testing.F) {
 	for _, name := range RouterNames() {

@@ -41,13 +41,16 @@ type Measurement struct {
 	PeakBuffer int
 }
 
-// Measure simulates one (router, traffic, seed) point: build a fresh
-// network, warm up, then measure over an exact latency sample and counter
-// snapshots so only flits delivered inside the window count.
+// Measure simulates one (topology, router, traffic, seed) point: build a
+// fresh network, attach one traffic node per endpoint, warm up, then
+// measure over an exact latency sample and counter snapshots so only
+// flits delivered inside the window count. Throughput is normalized per
+// endpoint, so topologies with different switch counts (the cmesh) stay
+// comparable per attached node.
 func Measure(topo Topology, mc MeasureConfig) Measurement {
 	e := sim.NewEngine()
 	n := NewRouterNetwork(e, topo, mc.Router)
-	for i := 0; i < topo.NumNodes(); i++ {
+	for i := 0; i < topo.NumEndpoints(); i++ {
 		tn := NewTrafficNode(i, topo, mc.Traffic, mc.Seed)
 		n.Attach(i, tn)
 		e.Register(sim.PhaseNode, tn)
@@ -68,7 +71,7 @@ func Measure(topo Topology, mc MeasureConfig) Measurement {
 		Delivered:   delivered,
 		Deflections: deflected,
 		Throughput: float64(delivered) / float64(mc.Measure) /
-			float64(topo.NumNodes()),
+			float64(topo.NumEndpoints()),
 		MeanLatency: sample.Mean(),
 		P99Latency:  sample.Percentile(99),
 		PeakBuffer:  n.PeakBuffer(),

@@ -1,0 +1,148 @@
+package noc
+
+import "fmt"
+
+// Mesh is a non-wrapping W x H mesh: the same grid as the torus minus the
+// wrap-around links. Edge switches lack the ports that would cross the
+// boundary — corner switches keep only two — which is exactly the case the
+// deflection-class routers must survive with fewer escape ports, and no
+// ring wraps, so dimension-order routing is deadlock free without a
+// dateline. One endpoint attaches to every switch.
+type Mesh struct {
+	W, H int
+}
+
+// Kind implements Topology.
+func (t Mesh) Kind() TopologyKind { return TopoMesh }
+
+// Dims implements Topology.
+func (t Mesh) Dims() (int, int) { return t.W, t.H }
+
+// NumNodes returns the number of switches.
+func (t Mesh) NumNodes() int { return t.W * t.H }
+
+// Coord maps a switch id to its (x, y) coordinate.
+func (t Mesh) Coord(id int) (x, y int) {
+	if id < 0 || id >= t.NumNodes() {
+		panic(fmt.Sprintf("noc: node id %d out of range", id))
+	}
+	return id % t.W, id / t.W
+}
+
+// ID maps a coordinate to a switch id. Like the torus it wraps modularly —
+// it is an addressing helper used by the traffic patterns, not a statement
+// about links (Neighbor is the link function, and mesh edges have none).
+func (t Mesh) ID(x, y int) int {
+	x = ((x % t.W) + t.W) % t.W
+	y = ((y % t.H) + t.H) % t.H
+	return y*t.W + x
+}
+
+// Neighbor returns the switch one hop from id through port p, and
+// ok=false when the hop would cross the mesh boundary. The cmesh switch
+// grid shares this implementation (CMesh delegates to a Mesh value).
+func (t Mesh) Neighbor(id int, p Port) (int, bool) {
+	x, y := t.Coord(id)
+	switch p {
+	case East:
+		if x+1 >= t.W {
+			return 0, false
+		}
+		return y*t.W + x + 1, true
+	case West:
+		if x-1 < 0 {
+			return 0, false
+		}
+		return y*t.W + x - 1, true
+	case North:
+		if y+1 >= t.H {
+			return 0, false
+		}
+		return (y+1)*t.W + x, true
+	case South:
+		if y-1 < 0 {
+			return 0, false
+		}
+		return (y-1)*t.W + x, true
+	}
+	panic("noc: invalid port")
+}
+
+// Dist returns the Manhattan distance between two switches (no wrap).
+func (t Mesh) Dist(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	return absInt(bx-ax) + absInt(by-ay)
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ProductivePorts appends to dst the ports that strictly reduce the mesh
+// distance from (x, y) to (dstX, dstY). Without wrap there is never an
+// equidistant direction: at most one port per axis is productive, and it
+// is always a real link (it points inward).
+func (t Mesh) ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port {
+	if dstX > x {
+		dst = append(dst, East)
+	} else if dstX < x {
+		dst = append(dst, West)
+	}
+	if dstY > y {
+		dst = append(dst, North)
+	} else if dstY < y {
+		dst = append(dst, South)
+	}
+	return dst
+}
+
+// XYFirstPort returns the dimension-order (X then Y) routing port towards
+// (dstX, dstY), and ok=false when already there. Mesh XY routes never
+// leave the grid, so the returned port is always a real link.
+func (t Mesh) XYFirstPort(x, y, dstX, dstY int) (Port, bool) {
+	if dstX > x {
+		return East, true
+	}
+	if dstX < x {
+		return West, true
+	}
+	if dstY > y {
+		return North, true
+	}
+	if dstY < y {
+		return South, true
+	}
+	return 0, false
+}
+
+// WrapCrossing implements Topology; a mesh has no wrap-around links, so
+// the wormhole router never needs its dateline escape VC here.
+func (t Mesh) WrapCrossing(x, y int, p Port) bool { return false }
+
+// Concentration implements Topology; one endpoint per mesh switch.
+func (t Mesh) Concentration() int { return 1 }
+
+// NumEndpoints implements Topology.
+func (t Mesh) NumEndpoints() int { return t.NumNodes() }
+
+// EndpointDims implements Topology.
+func (t Mesh) EndpointDims() (int, int) { return t.W, t.H }
+
+// EndpointCoord implements Topology; endpoint space is switch space.
+func (t Mesh) EndpointCoord(e int) (int, int) { return t.Coord(e) }
+
+// EndpointID implements Topology.
+func (t Mesh) EndpointID(ex, ey int) int { return t.ID(ex, ey) }
+
+// EndpointSwitch implements Topology.
+func (t Mesh) EndpointSwitch(e int) int { return e }
+
+// SwitchOf implements Topology.
+func (t Mesh) SwitchOf(ex, ey int) (int, int) { return ex, ey }
+
+// LocalIndex implements Topology.
+func (t Mesh) LocalIndex(ex, ey int) int { return 0 }

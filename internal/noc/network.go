@@ -8,14 +8,18 @@ import (
 	"repro/internal/stats"
 )
 
-// Network is a fully wired folded-torus NoC of switches running one of the
-// RouterKind algorithms. All kinds share the same link wiring, local-port
-// contract and statistics, so routers are directly comparable under
-// identical traffic.
+// Network is a fully wired NoC of switches running one of the RouterKind
+// algorithms on one of the Topology fabrics. All combinations share the
+// same link wiring, local-port contract and statistics, so routers and
+// topologies are directly comparable under identical traffic.
 type Network struct {
 	Topo    Topology
 	Kind    RouterKind
 	Routers []Router
+
+	// conc holds the per-switch local crossbars on concentrated
+	// topologies (nil when Topo.Concentration() == 1).
+	conc []*concentrator
 
 	// Stats aggregates network-wide traffic measurements.
 	Stats NetStats
@@ -35,23 +39,24 @@ type NetStats struct {
 	LatencySample *stats.Sample
 }
 
-// NewNetwork builds a w x h folded torus of the paper's deflection
-// switches. It is shorthand for NewRouterNetwork(e, topo, RouterDeflection)
-// and remains the constructor used by the full MEDEA system.
+// NewNetwork builds a folded torus of the paper's deflection switches. It
+// is shorthand for NewRouterNetwork(e, topo, RouterDeflection) and remains
+// the constructor used by the full MEDEA system.
 func NewNetwork(e *sim.Engine, topo Topology) *Network {
 	return NewRouterNetwork(e, topo, RouterDeflection)
 }
 
-// NewXYNetwork builds a w x h torus of buffered XY switches, the ablation
+// NewXYNetwork builds a torus of buffered XY switches, the ablation
 // baseline. Shorthand for NewRouterNetwork(e, topo, RouterXY).
 func NewXYNetwork(e *sim.Engine, topo Topology) *Network {
 	return NewRouterNetwork(e, topo, RouterXY)
 }
 
-// NewRouterNetwork builds a w x h folded torus of switches of the given
-// kind, wires all links, registers everything with the engine
-// (sim.PhaseSwitch), and attaches a null port to every switch. Call Attach
-// to connect real nodes.
+// NewRouterNetwork builds the topology's switch grid with switches of the
+// given kind, wires every link the fabric defines (mesh edges have none),
+// registers everything with the engine (sim.PhaseSwitch; local crossbars
+// of concentrated topologies in sim.PhaseNode), and attaches a null port
+// to every endpoint. Call Attach to connect real nodes.
 func NewRouterNetwork(e *sim.Engine, topo Topology, kind RouterKind) *Network {
 	n := &Network{Topo: topo, Kind: kind}
 	n.Routers = make([]Router, topo.NumNodes())
@@ -62,13 +67,17 @@ func NewRouterNetwork(e *sim.Engine, topo Topology, kind RouterKind) *Network {
 		})
 	}
 	// Create one register per directed link, shared between the producing
-	// switch's out port and the consuming switch's in port.
+	// switch's out port and the consuming switch's in port. Ports the
+	// fabric defines no link for stay nil, and every router skips them.
 	for id, r := range n.Routers {
 		rp := r.wiring()
 		for p := Port(0); p < NumPorts; p++ {
+			nb, ok := topo.Neighbor(id, p)
+			if !ok {
+				continue
+			}
 			reg := sim.NewReg[flit.Flit](e, fmt.Sprintf("link %d.%v", id, p))
 			rp.out[p] = reg
-			nb := topo.Neighbor(id, p)
 			n.Routers[nb].wiring().in[p.Opposite()] = reg
 		}
 	}
@@ -84,18 +93,64 @@ func NewRouterNetwork(e *sim.Engine, topo Topology, kind RouterKind) *Network {
 			r.(*AdaptiveSwitch).wireNeighbors(n)
 		}
 	}
+	// Concentrated topologies put a local crossbar between each switch
+	// and its endpoints; it runs on the endpoint side of the clock.
+	if topo.Concentration() > 1 {
+		n.conc = make([]*concentrator, topo.NumNodes())
+		for id, r := range n.Routers {
+			n.conc[id] = newConcentrator(topo, id, n)
+			r.wiring().local = n.conc[id]
+			e.Register(sim.PhaseNode, n.conc[id])
+		}
+	}
 	for _, r := range n.Routers {
 		e.Register(sim.PhaseSwitch, r)
 	}
 	return n
 }
 
-// Attach connects a node's local port to the switch with the given id.
+// Attach connects a node's local port to the endpoint with the given id
+// (on non-concentrated topologies an endpoint id is a switch id; on the
+// cmesh it selects the slot on the owning switch's local crossbar).
 func (n *Network) Attach(id int, lp LocalPort) {
 	if lp == nil {
 		panic("noc: nil local port")
 	}
+	if id < 0 || id >= n.Topo.NumEndpoints() {
+		panic(fmt.Sprintf("noc: endpoint id %d out of range", id))
+	}
+	if n.conc != nil {
+		ex, ey := n.Topo.EndpointCoord(id)
+		n.conc[n.Topo.EndpointSwitch(id)].eps[n.Topo.LocalIndex(ex, ey)] = lp
+		return
+	}
 	n.Routers[id].wiring().local = lp
+}
+
+// ConcentratorHeld sums the flits currently latched in the local crossbar
+// stages of a concentrated topology (always 0 otherwise). Latched flits
+// are source-side — not yet injected — so they are excluded from InFlight;
+// drain checks add this term to know the sources are truly empty.
+func (n *Network) ConcentratorHeld() int {
+	c := 0
+	for _, cc := range n.conc {
+		c += cc.held()
+	}
+	return c
+}
+
+// ConcentratorTurnarounds sums the same-switch deliveries made inside the
+// local crossbars (always 0 on non-concentrated topologies). These flits
+// count in NetStats but never traverse a switch, so per-switch counters
+// (Router.EjectedCount, the VCD tracer's ejection signals) legitimately
+// exclude them; NetStats.Delivered equals the sum of all
+// Router.EjectedCount plus this term.
+func (n *Network) ConcentratorTurnarounds() int64 {
+	var c int64
+	for _, cc := range n.conc {
+		c += cc.turnarounds
+	}
+	return c
 }
 
 // InFlight counts flits currently travelling on links or stored inside

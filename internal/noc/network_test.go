@@ -29,6 +29,16 @@ func (c *collector) Deliver(f flit.Flit, now int64) {
 	c.when = append(c.when, now)
 }
 
+// mustNeighbor is a test helper for fabrics where the link is known to
+// exist (any torus port).
+func mustNeighbor(topo Topology, id int, p Port) int {
+	nb, ok := topo.Neighbor(id, p)
+	if !ok {
+		panic("test: no link there")
+	}
+	return nb
+}
+
 func buildNet(t *testing.T, w, h int) (*sim.Engine, *Network, []*collector) {
 	t.Helper()
 	topo, err := NewTopology(w, h)
@@ -79,7 +89,7 @@ func TestSelfAddressedNearestDelivery(t *testing.T) {
 	// on link), arrive and eject next switch step.
 	e, n, cols := buildNet(t, 4, 4)
 	src := n.Topo.ID(1, 1)
-	dst := n.Topo.Neighbor(src, East)
+	dst := mustNeighbor(n.Topo, src, East)
 	cols[src].out = append(cols[src].out, mkFlit(n.Topo, src, dst, 1))
 	e.Run(10)
 	if len(cols[dst].got) != 1 {

@@ -47,48 +47,55 @@ func ParsePattern(s string) (Pattern, error) {
 	return 0, fmt.Errorf("noc: unknown pattern %q (have: %s)", s, strings.Join(PatternNames(), ", "))
 }
 
-// ValidatePattern reports whether pattern p can run on topology t; the
-// bit-permutation patterns are only defined for power-of-two node counts.
+// ValidatePattern reports whether pattern p can run on topology t. The
+// patterns address the endpoint grid, so the constraints are per-topology:
+// the bit-permutation patterns are only defined for power-of-two endpoint
+// counts, and transpose only permutes square endpoint grids (on the torus
+// and mesh the endpoint grid is the switch grid; the cmesh's is 2x denser
+// in each dimension than its switch grid).
 func ValidatePattern(p Pattern, t Topology) error {
 	if p < 0 || p >= numPatterns {
 		return fmt.Errorf("noc: unknown pattern %d", int(p))
 	}
+	ew, eh := t.EndpointDims()
 	switch p {
 	case BitReversal, Shuffle:
-		if n := t.NumNodes(); n&(n-1) != 0 {
-			return fmt.Errorf("noc: %v requires a power-of-two node count; %dx%d = %d is not",
-				p, t.W, t.H, n)
+		if n := t.NumEndpoints(); n&(n-1) != 0 {
+			return fmt.Errorf("noc: %v requires a power-of-two endpoint count; %dx%d %v = %d is not",
+				p, ew, eh, t.Kind(), n)
 		}
 	case Transpose:
-		if t.W != t.H {
-			return fmt.Errorf("noc: %v is only a permutation on square tori, got %dx%d", p, t.W, t.H)
+		if ew != eh {
+			return fmt.Errorf("noc: %v is only a permutation on square endpoint grids, got %dx%d %v",
+				p, ew, eh, t.Kind())
 		}
 	}
 	return nil
 }
 
-// PermutationDest returns the destination node of the permutation-style
-// pattern p for source src on topology t. It panics if p is not a
-// permutation pattern; callers should have run ValidatePattern first for
-// the bit patterns.
+// PermutationDest returns the destination endpoint of the
+// permutation-style pattern p for source endpoint src on topology t. It
+// panics if p is not a permutation pattern; callers should have run
+// ValidatePattern first for the bit patterns.
 func PermutationDest(p Pattern, t Topology, src int) int {
+	ew, eh := t.EndpointDims()
 	switch p {
 	case Transpose:
-		x, y := t.Coord(src)
-		return t.ID(y%t.W, x%t.H)
+		x, y := t.EndpointCoord(src)
+		return t.EndpointID(y%ew, x%eh)
 	case BitComplement:
-		x, y := t.Coord(src)
-		return t.ID(t.W-1-x, t.H-1-y)
+		x, y := t.EndpointCoord(src)
+		return t.EndpointID(ew-1-x, eh-1-y)
 	case BitReversal:
-		b := bits.Len(uint(t.NumNodes())) - 1
+		b := bits.Len(uint(t.NumEndpoints())) - 1
 		return int(bits.Reverse(uint(src)) >> (bits.UintSize - b))
 	case Shuffle:
-		n := t.NumNodes()
+		n := t.NumEndpoints()
 		b := bits.Len(uint(n)) - 1
 		return ((src << 1) | (src >> (b - 1))) & (n - 1)
 	case Tornado:
-		x, y := t.Coord(src)
-		return t.ID(x+(t.W+1)/2-1, y+(t.H+1)/2-1)
+		x, y := t.EndpointCoord(src)
+		return t.EndpointID(x+(ew+1)/2-1, y+(eh+1)/2-1)
 	}
 	panic(fmt.Sprintf("noc: %v is not a permutation pattern", p))
 }

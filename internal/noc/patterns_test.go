@@ -21,39 +21,48 @@ func permutationPatterns() []Pattern {
 // maps the node-id set onto itself with no collisions, on both a
 // power-of-two torus and (for the coordinate patterns) a non-power-of-two
 // one.
+// TestPermutationPatternsBijective checks that every permutation pattern
+// maps the endpoint-id set onto itself with no collisions, across all
+// three topology kinds (on the cmesh the endpoint grid is 2x denser than
+// the switch grid, so it exercises the endpoint-space addressing).
 func TestPermutationPatternsBijective(t *testing.T) {
-	topos := []Topology{{W: 4, H: 4}, {W: 8, H: 4}, {W: 5, H: 3}, {W: 2, H: 2}}
+	topos := []Topology{
+		Torus{W: 4, H: 4}, Torus{W: 8, H: 4}, Torus{W: 5, H: 3}, Torus{W: 2, H: 2},
+		Mesh{W: 4, H: 4}, Mesh{W: 5, H: 3},
+		CMesh{W: 4, H: 4}, CMesh{W: 8, H: 4},
+	}
 	for _, topo := range topos {
+		ew, eh := topo.EndpointDims()
 		for _, p := range permutationPatterns() {
 			if err := ValidatePattern(p, topo); err != nil {
 				continue // bit patterns on non-power-of-two sizes
 			}
 			seen := make(map[int]bool)
-			for src := 0; src < topo.NumNodes(); src++ {
+			for src := 0; src < topo.NumEndpoints(); src++ {
 				dst := PermutationDest(p, topo, src)
-				if dst < 0 || dst >= topo.NumNodes() {
-					t.Errorf("%v on %dx%d: dest(%d) = %d out of range", p, topo.W, topo.H, src, dst)
+				if dst < 0 || dst >= topo.NumEndpoints() {
+					t.Errorf("%v on %dx%d %v: dest(%d) = %d out of range", p, ew, eh, topo.Kind(), src, dst)
 				}
 				if seen[dst] {
-					t.Errorf("%v on %dx%d: dest %d hit twice", p, topo.W, topo.H, dst)
+					t.Errorf("%v on %dx%d %v: dest %d hit twice", p, ew, eh, topo.Kind(), dst)
 				}
 				seen[dst] = true
 			}
-			if len(seen) != topo.NumNodes() {
-				t.Errorf("%v on %dx%d: %d distinct dests, want %d", p, topo.W, topo.H, len(seen), topo.NumNodes())
+			if len(seen) != topo.NumEndpoints() {
+				t.Errorf("%v on %dx%d %v: %d distinct dests, want %d", p, ew, eh, topo.Kind(), len(seen), topo.NumEndpoints())
 			}
 		}
 	}
 }
 
 func TestValidatePattern(t *testing.T) {
-	odd := Topology{W: 5, H: 3}
+	odd := Torus{W: 5, H: 3}
 	for _, p := range []Pattern{BitReversal, Shuffle} {
 		if err := ValidatePattern(p, odd); err == nil {
 			t.Errorf("%v on 5x3 should be rejected", p)
 		}
 	}
-	pow2 := Topology{W: 4, H: 4}
+	pow2 := Torus{W: 4, H: 4}
 	for _, p := range AllPatterns() {
 		if err := ValidatePattern(p, pow2); err != nil {
 			t.Errorf("%v on 4x4: %v", p, err)
@@ -61,6 +70,17 @@ func TestValidatePattern(t *testing.T) {
 	}
 	if err := ValidatePattern(numPatterns, pow2); err == nil {
 		t.Error("out-of-range pattern should be rejected")
+	}
+	// Per-topology validation: the same pattern can be legal on one kind
+	// and not another at the same W x H (the cmesh endpoint grid is the
+	// full W x H even though its switch grid is a quarter of it).
+	if err := ValidatePattern(Transpose, Mesh{W: 4, H: 3}); err == nil {
+		t.Error("transpose on a 4x3 mesh should be rejected")
+	}
+	for _, p := range AllPatterns() {
+		if err := ValidatePattern(p, CMesh{W: 4, H: 4}); err != nil {
+			t.Errorf("%v on 4x4 cmesh: %v", p, err)
+		}
 	}
 }
 

@@ -116,7 +116,11 @@ type Router interface {
 	// Deflections returns the cumulative count of unproductive hops
 	// assigned by this switch (always 0 for buffered routers).
 	Deflections() int64
-	// EjectedCount returns the cumulative deliveries to the local node.
+	// EjectedCount returns the cumulative deliveries to the local node
+	// made through the switch's ejection port. On concentrated topologies
+	// same-switch traffic is delivered inside the local crossbar without
+	// traversing the switch and is counted by
+	// Network.ConcentratorTurnarounds instead.
 	EjectedCount() int64
 	// wiring exposes the wiring block to the network constructor.
 	wiring() *routerPorts
@@ -126,7 +130,9 @@ type Router interface {
 // implementation: the four link registers in each direction, the local
 // node port, and the back-pointer to the owning network for stats.
 // Implementations embed it, so field access reads like the hardware it
-// models (s.in[p], s.out[p], s.local).
+// models (s.in[p], s.out[p], s.local). On topologies without wrap-around
+// links (mesh, cmesh) the registers of boundary-crossing ports are nil and
+// every port loop skips them.
 type routerPorts struct {
 	id   int
 	x, y int
@@ -143,11 +149,19 @@ func (rp *routerPorts) ID() int { return rp.id }
 
 func (rp *routerPorts) wiring() *routerPorts { return rp }
 
+// dstSwitch maps a flit's destination endpoint coordinates to the
+// coordinates of the switch serving that endpoint (identity except on
+// concentrated topologies). Every router resolves a flit's target switch
+// through this before routing or ejecting.
+func (rp *routerPorts) dstSwitch(f flit.Flit) (int, int) {
+	return rp.topo.SwitchOf(int(f.DstX), int(f.DstY))
+}
+
 // outOccupancy counts output links carrying a flit this cycle.
 func (rp *routerPorts) outOccupancy() int {
 	c := 0
 	for p := Port(0); p < NumPorts; p++ {
-		if rp.out[p].Valid() {
+		if rp.out[p] != nil && rp.out[p].Valid() {
 			c++
 		}
 	}
@@ -160,7 +174,7 @@ func (rp *routerPorts) outOccupancy() int {
 func (rp *routerPorts) inOccupancy() int {
 	c := 0
 	for p := Port(0); p < NumPorts; p++ {
-		if rp.in[p].Valid() {
+		if rp.in[p] != nil && rp.in[p].Valid() {
 			c++
 		}
 	}

@@ -1,16 +1,28 @@
-// Package noc implements the MEDEA network-on-chip: a two-dimensional
-// folded-torus topology with bufferless deflection-routed ("hot potato")
-// switches, plus a conventional buffered XY dimension-order router used as
-// an ablation baseline, and synthetic traffic generators for network-only
-// evaluation.
+// Package noc implements the MEDEA network-on-chip as a cross-product of
+// pluggable axes. The Topology axis selects the fabric: the paper's folded
+// torus, a non-wrapping mesh, or a concentration-4 concentrated mesh
+// (cmesh) that multiplexes four endpoints onto every switch through a
+// local crossbar stage. The Router axis selects the switching algorithm:
+// the paper's bufferless deflection ("hot potato") switch, a buffered XY
+// dimension-order baseline, an age-weighted adaptive deflection router,
+// and a 2-virtual-channel credit-flow-controlled wormhole router. A
+// nine-pattern synthetic traffic library drives network-only evaluation.
+// Every (topology, router, pattern) combination shares the same LocalPort
+// contract, the same NetStats and the same conservation invariants — the
+// differential conformance tests run the full cross-product — so routers
+// and fabrics are directly comparable under identical traffic.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Port identifies one of the four inter-switch directions.
 type Port int
 
-// The four torus directions. East/West move along X, North/South along Y.
+// The four grid directions. East/West move along X, North/South along Y.
 const (
 	East Port = iota
 	West
@@ -51,57 +63,239 @@ func (p Port) Opposite() Port {
 	panic("noc: invalid port")
 }
 
-// Topology describes a W x H folded torus. A folded torus is physically
-// laid out with interleaved nodes so all links have equal length; logically
-// it is a torus, so routing uses plain modular distances.
-type Topology struct {
+// TopologyKind selects a fabric for a Network. Topology is a first-class
+// sweep axis mirroring RouterKind: every kind runs under the same Router
+// implementations, the same LocalPort contract and the same NetStats, so
+// structurally different fabrics are directly comparable under identical
+// traffic.
+type TopologyKind int
+
+// The three fabric implementations.
+const (
+	// TopoTorus is the paper's W x H folded torus: every ring wraps, all
+	// links are equal length, and every switch has all four ports.
+	TopoTorus TopologyKind = iota
+	// TopoMesh is a non-wrapping W x H mesh: edge switches lack the ports
+	// that would cross the boundary (corner switches keep only two), and
+	// no ring wraps, so the wormhole router needs no dateline.
+	TopoMesh
+	// TopoCMesh is a concentrated mesh: a (W/2) x (H/2) non-wrapping mesh
+	// of switches, each serving a 2x2 tile of four endpoints through a
+	// local crossbar stage (concentration factor CMeshConcentration).
+	TopoCMesh
+
+	// numTopologies counts the defined topology kinds (keep it last).
+	numTopologies
+)
+
+// String implements fmt.Stringer.
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoTorus:
+		return "torus"
+	case TopoMesh:
+		return "mesh"
+	case TopoCMesh:
+		return "cmesh"
+	}
+	return fmt.Sprintf("topology(%d)", int(k))
+}
+
+// AllTopologies returns every defined topology kind in declaration order.
+func AllTopologies() []TopologyKind {
+	out := make([]TopologyKind, numTopologies)
+	for i := range out {
+		out[i] = TopologyKind(i)
+	}
+	return out
+}
+
+// TopologyNames returns the canonical names of every topology kind, for
+// flag documentation and error messages.
+func TopologyNames() []string {
+	names := make([]string, numTopologies)
+	for i := range names {
+		names[i] = TopologyKind(i).String()
+	}
+	return names
+}
+
+// ParseTopology resolves a topology kind from its canonical name (as
+// printed by TopologyKind.String) or its numeric value. Matching is
+// case-insensitive and accepts "_" for "-", mirroring ParseRouter and
+// ParsePattern.
+func ParseTopology(s string) (TopologyKind, error) {
+	norm := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), "_", "-")
+	for k := TopologyKind(0); k < numTopologies; k++ {
+		if norm == k.String() {
+			return k, nil
+		}
+	}
+	if n, err := strconv.Atoi(norm); err == nil {
+		if n >= 0 && n < int(numTopologies) {
+			return TopologyKind(n), nil
+		}
+		return 0, fmt.Errorf("noc: topology index %d out of range [0, %d)", n, int(numTopologies))
+	}
+	return 0, fmt.Errorf("noc: unknown topology %q (have: %s)", s, strings.Join(TopologyNames(), ", "))
+}
+
+// Topology describes a fabric of switches on a 2-D grid and the endpoints
+// attached to them. Implementations are small value types (Torus, Mesh,
+// CMesh) safe to copy and compare.
+//
+// Two coordinate spaces coexist. The switch space is the grid the routers
+// live on: Dims/NumNodes/Coord/ID/Neighbor/Dist and the routing functions
+// (ProductivePorts, XYFirstPort) all speak switch coordinates. The
+// endpoint space is the grid the attached nodes (traffic generators, PEs)
+// live on: flit destination coordinates (Flit.DstX/DstY) are endpoint
+// coordinates, and NumEndpoints/EndpointCoord/EndpointID address it. For
+// the torus and the mesh the two spaces coincide (Concentration() == 1);
+// the concentrated mesh packs a 2x2 endpoint tile behind each switch, and
+// SwitchOf/LocalIndex translate between the spaces.
+type Topology interface {
+	// Kind returns the fabric's kind on the topology axis.
+	Kind() TopologyKind
+	// Dims returns the switch grid dimensions.
+	Dims() (w, h int)
+	// NumNodes returns the number of switches.
+	NumNodes() int
+	// Coord maps a switch id to its (x, y) grid coordinate.
+	Coord(id int) (x, y int)
+	// ID maps a coordinate to a switch id. It wraps modularly on every
+	// kind — it is an addressing helper, not a link function; whether a
+	// physical link crosses the boundary is Neighbor's business.
+	ID(x, y int) int
+	// Neighbor returns the switch one hop from id through port p, and
+	// ok=false when the fabric has no link there (mesh and cmesh edges).
+	Neighbor(id int, p Port) (nb int, ok bool)
+	// Dist returns the minimal hop count between two switches.
+	Dist(a, b int) int
+	// ProductivePorts appends to dst the ports that strictly reduce the
+	// fabric distance from switch (x, y) to switch (dstX, dstY) and
+	// returns the extended slice. Every returned port is a real link.
+	ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port
+	// XYFirstPort returns the dimension-order (X then Y) routing port from
+	// switch (x, y) towards switch (dstX, dstY), and ok=false when already
+	// there. The returned port is always a real link.
+	XYFirstPort(x, y, dstX, dstY int) (Port, bool)
+	// WrapCrossing reports whether the hop out of switch (x, y) through
+	// port p crosses a wrap-around link. It is the capability hook the
+	// wormhole router queries for dateline VC allocation: only wrapping
+	// rings (the torus) need the VC-1 escape; mesh fabrics never wrap and
+	// always return false.
+	WrapCrossing(x, y int, p Port) bool
+
+	// Concentration returns the number of endpoints attached to each
+	// switch (1 except for the concentrated mesh).
+	Concentration() int
+	// NumEndpoints returns the number of attachable endpoints.
+	NumEndpoints() int
+	// EndpointDims returns the endpoint grid dimensions.
+	EndpointDims() (ew, eh int)
+	// EndpointCoord maps an endpoint id to its endpoint-grid coordinate
+	// (the coordinate carried in Flit.DstX/DstY).
+	EndpointCoord(e int) (ex, ey int)
+	// EndpointID maps an endpoint coordinate to an endpoint id, wrapping
+	// modularly (an addressing helper, like ID).
+	EndpointID(ex, ey int) int
+	// EndpointSwitch returns the switch an endpoint hangs off.
+	EndpointSwitch(e int) int
+	// SwitchOf maps an endpoint coordinate to the coordinates of the
+	// switch serving it (identity unless concentrated).
+	SwitchOf(ex, ey int) (x, y int)
+	// LocalIndex returns the endpoint's slot on its switch's local
+	// crossbar, in [0, Concentration()).
+	LocalIndex(ex, ey int) int
+}
+
+// NewTopology validates and returns the paper's folded-torus topology. It
+// is shorthand for NewTopologyOfKind(TopoTorus, w, h) and remains the
+// constructor used by the full MEDEA system.
+func NewTopology(w, h int) (Topology, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("noc: torus must be at least 2x2, got %dx%d", w, h)
+	}
+	return Torus{W: w, H: h}, nil
+}
+
+// NewTopologyOfKind validates and returns a topology of the given kind
+// with a w x h endpoint grid. For the torus and the mesh the switch grid
+// is the endpoint grid; the concentrated mesh folds the endpoints into a
+// (w/2) x (h/2) switch grid, so w and h must both be even multiples of
+// the 2x2 concentration tile and at least 4.
+func NewTopologyOfKind(kind TopologyKind, w, h int) (Topology, error) {
+	switch kind {
+	case TopoTorus:
+		return NewTopology(w, h)
+	case TopoMesh:
+		if w < 2 || h < 2 {
+			return nil, fmt.Errorf("noc: mesh must be at least 2x2, got %dx%d", w, h)
+		}
+		return Mesh{W: w, H: h}, nil
+	case TopoCMesh:
+		if w%2 != 0 || h%2 != 0 {
+			return nil, fmt.Errorf("noc: cmesh endpoint grid must be divisible by the 2x2 concentration tile, got %dx%d", w, h)
+		}
+		if w < 4 || h < 4 {
+			return nil, fmt.Errorf("noc: cmesh needs at least a 4x4 endpoint grid (a 2x2 switch grid), got %dx%d", w, h)
+		}
+		return CMesh{W: w, H: h}, nil
+	}
+	return nil, fmt.Errorf("noc: unknown topology kind %d", int(kind))
+}
+
+// Torus is the paper's W x H folded torus. A folded torus is physically
+// laid out with interleaved nodes so all links have equal length;
+// logically it is a torus, so routing uses plain modular distances. One
+// endpoint attaches to every switch.
+type Torus struct {
 	W, H int
 }
 
-// NewTopology validates and returns a torus topology.
-func NewTopology(w, h int) (Topology, error) {
-	if w < 2 || h < 2 {
-		return Topology{}, fmt.Errorf("noc: torus must be at least 2x2, got %dx%d", w, h)
-	}
-	return Topology{W: w, H: h}, nil
-}
+// Kind implements Topology.
+func (t Torus) Kind() TopologyKind { return TopoTorus }
 
-// NumNodes returns the number of switches (and attachable nodes).
-func (t Topology) NumNodes() int { return t.W * t.H }
+// Dims implements Topology.
+func (t Torus) Dims() (int, int) { return t.W, t.H }
 
-// Coord maps a node id to its (x, y) coordinate.
-func (t Topology) Coord(id int) (x, y int) {
+// NumNodes returns the number of switches.
+func (t Torus) NumNodes() int { return t.W * t.H }
+
+// Coord maps a switch id to its (x, y) coordinate.
+func (t Torus) Coord(id int) (x, y int) {
 	if id < 0 || id >= t.NumNodes() {
 		panic(fmt.Sprintf("noc: node id %d out of range", id))
 	}
 	return id % t.W, id / t.W
 }
 
-// ID maps a coordinate to a node id, wrapping around the torus.
-func (t Topology) ID(x, y int) int {
+// ID maps a coordinate to a switch id, wrapping around the torus.
+func (t Torus) ID(x, y int) int {
 	x = ((x % t.W) + t.W) % t.W
 	y = ((y % t.H) + t.H) % t.H
 	return y*t.W + x
 }
 
-// Neighbor returns the node id one hop from id through port p.
-func (t Topology) Neighbor(id int, p Port) int {
+// Neighbor returns the switch one hop from id through port p; every torus
+// link exists, so ok is always true.
+func (t Torus) Neighbor(id int, p Port) (int, bool) {
 	x, y := t.Coord(id)
 	switch p {
 	case East:
-		return t.ID(x+1, y)
+		return t.ID(x+1, y), true
 	case West:
-		return t.ID(x-1, y)
+		return t.ID(x-1, y), true
 	case North:
-		return t.ID(x, y+1)
+		return t.ID(x, y+1), true
 	case South:
-		return t.ID(x, y-1)
+		return t.ID(x, y-1), true
 	}
 	panic("noc: invalid port")
 }
 
-// Dist returns the minimal hop count between two nodes on the torus.
-func (t Topology) Dist(a, b int) int {
+// Dist returns the minimal hop count between two switches on the torus.
+func (t Torus) Dist(a, b int) int {
 	ax, ay := t.Coord(a)
 	bx, by := t.Coord(b)
 	return axisDist(ax, bx, t.W) + axisDist(ay, by, t.H)
@@ -119,7 +313,7 @@ func axisDist(a, b, n int) int {
 // distance from (x, y) to (dstX, dstY) and returns the extended slice.
 // When the destination is equidistant in both directions of an axis (even
 // torus, exactly half-way) both directions are productive.
-func (t Topology) ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port {
+func (t Torus) ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port {
 	// This runs once per routed flit per cycle; coordinates are in range
 	// in every caller, so wrap with a subtraction and keep the div-based
 	// modulo as a fallback for out-of-range inputs only.
@@ -161,7 +355,7 @@ func (t Topology) ProductivePorts(dst []Port, x, y, dstX, dstY int) []Port {
 // XYFirstPort returns the dimension-order (X then Y) routing port from
 // (x, y) towards (dstX, dstY), choosing the shorter wrap direction, and
 // ok=false when already at the destination.
-func (t Topology) XYFirstPort(x, y, dstX, dstY int) (Port, bool) {
+func (t Torus) XYFirstPort(x, y, dstX, dstY int) (Port, bool) {
 	if x != dstX {
 		de := ((dstX-x)%t.W + t.W) % t.W
 		if de <= t.W-de {
@@ -178,3 +372,44 @@ func (t Topology) XYFirstPort(x, y, dstX, dstY int) (Port, bool) {
 	}
 	return 0, false
 }
+
+// WrapCrossing implements Topology: the hop crosses a wrap-around link
+// exactly when it leaves the last switch of its ring, which is where the
+// wormhole router's dateline moves packets to the escape VC.
+func (t Torus) WrapCrossing(x, y int, p Port) bool {
+	switch p {
+	case East:
+		return x == t.W-1
+	case West:
+		return x == 0
+	case North:
+		return y == t.H-1
+	case South:
+		return y == 0
+	}
+	return false
+}
+
+// Concentration implements Topology; one endpoint per torus switch.
+func (t Torus) Concentration() int { return 1 }
+
+// NumEndpoints implements Topology.
+func (t Torus) NumEndpoints() int { return t.NumNodes() }
+
+// EndpointDims implements Topology.
+func (t Torus) EndpointDims() (int, int) { return t.W, t.H }
+
+// EndpointCoord implements Topology; endpoint space is switch space.
+func (t Torus) EndpointCoord(e int) (int, int) { return t.Coord(e) }
+
+// EndpointID implements Topology.
+func (t Torus) EndpointID(ex, ey int) int { return t.ID(ex, ey) }
+
+// EndpointSwitch implements Topology.
+func (t Torus) EndpointSwitch(e int) int { return e }
+
+// SwitchOf implements Topology.
+func (t Torus) SwitchOf(ex, ey int) (int, int) { return ex, ey }
+
+// LocalIndex implements Topology.
+func (t Torus) LocalIndex(ex, ey int) int { return 0 }

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -30,24 +31,137 @@ func TestTopologyRejectsTiny(t *testing.T) {
 	}
 }
 
-func TestIDWrapsAround(t *testing.T) {
-	topo, _ := NewTopology(4, 4)
-	if topo.ID(-1, 0) != topo.ID(3, 0) {
-		t.Error("negative x should wrap")
+func TestNewTopologyOfKindValidation(t *testing.T) {
+	cases := []struct {
+		kind TopologyKind
+		w, h int
+		ok   bool
+	}{
+		{TopoTorus, 4, 4, true},
+		{TopoTorus, 1, 4, false},
+		{TopoMesh, 2, 2, true},
+		{TopoMesh, 1, 8, false}, // degenerate line
+		{TopoMesh, 8, 1, false},
+		{TopoCMesh, 4, 4, true},
+		{TopoCMesh, 8, 6, true},
+		{TopoCMesh, 5, 4, false}, // not divisible by the 2x2 tile
+		{TopoCMesh, 4, 6, true},
+		{TopoCMesh, 2, 4, false}, // switch grid would be 1 wide
+		{TopoCMesh, 2, 2, false},
 	}
-	if topo.ID(4, 5) != topo.ID(0, 1) {
-		t.Error("overflow coordinates should wrap")
+	for _, c := range cases {
+		topo, err := NewTopologyOfKind(c.kind, c.w, c.h)
+		if c.ok && err != nil {
+			t.Errorf("%v %dx%d rejected: %v", c.kind, c.w, c.h, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%v %dx%d accepted; want error", c.kind, c.w, c.h)
+		}
+		if err == nil && topo.Kind() != c.kind {
+			t.Errorf("%v %dx%d built a %v", c.kind, c.w, c.h, topo.Kind())
+		}
+	}
+	if _, err := NewTopologyOfKind(numTopologies, 4, 4); err == nil {
+		t.Error("out-of-range kind accepted")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	for _, k := range AllTopologies() {
+		got, err := ParseTopology(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseTopology(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	for in, want := range map[string]TopologyKind{
+		"TORUS":  TopoTorus,
+		" mesh ": TopoMesh,
+		"0":      TopoTorus,
+		"2":      TopoCMesh,
+		"CMesh":  TopoCMesh,
+	} {
+		got, err := ParseTopology(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTopology(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"x", "99", "-1", "", "hypercube"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("ParseTopology(%q) should fail", bad)
+		}
+	}
+	if len(TopologyNames()) != int(numTopologies) {
+		t.Errorf("TopologyNames lists %d kinds, want %d", len(TopologyNames()), int(numTopologies))
+	}
+	if !strings.Contains(strings.Join(TopologyNames(), ","), "cmesh") {
+		t.Error("TopologyNames missing cmesh")
+	}
+}
+
+func TestIDWrapsAround(t *testing.T) {
+	for _, topo := range []Topology{Torus{W: 4, H: 4}, Mesh{W: 4, H: 4}} {
+		if topo.ID(-1, 0) != topo.ID(3, 0) {
+			t.Errorf("%v: negative x should wrap in address space", topo.Kind())
+		}
+		if topo.ID(4, 5) != topo.ID(0, 1) {
+			t.Errorf("%v: overflow coordinates should wrap in address space", topo.Kind())
+		}
 	}
 }
 
 func TestNeighborsAreSymmetric(t *testing.T) {
-	topo, _ := NewTopology(4, 3)
-	for id := 0; id < topo.NumNodes(); id++ {
+	topos := []Topology{Torus{W: 4, H: 3}, Mesh{W: 4, H: 3}, CMesh{W: 8, H: 6}}
+	for _, topo := range topos {
+		for id := 0; id < topo.NumNodes(); id++ {
+			for p := Port(0); p < NumPorts; p++ {
+				nb, ok := topo.Neighbor(id, p)
+				if !ok {
+					continue
+				}
+				back, ok2 := topo.Neighbor(nb, p.Opposite())
+				if !ok2 || back != id {
+					t.Errorf("%v node %d port %v: neighbor %d does not link back (got %d, %v)",
+						topo.Kind(), id, p, nb, back, ok2)
+				}
+			}
+		}
+	}
+}
+
+// TestMeshEdgeLinks pins the defining difference from the torus: boundary
+// ports have no link, corners keep exactly two.
+func TestMeshEdgeLinks(t *testing.T) {
+	topo := Mesh{W: 4, H: 4}
+	if _, ok := topo.Neighbor(topo.ID(3, 0), East); ok {
+		t.Error("east edge should have no east link")
+	}
+	if _, ok := topo.Neighbor(topo.ID(0, 0), West); ok {
+		t.Error("west edge should have no west link")
+	}
+	links := func(id int) int {
+		c := 0
 		for p := Port(0); p < NumPorts; p++ {
-			nb := topo.Neighbor(id, p)
-			back := topo.Neighbor(nb, p.Opposite())
-			if back != id {
-				t.Errorf("node %d port %v: neighbor %d does not link back (got %d)", id, p, nb, back)
+			if _, ok := topo.Neighbor(id, p); ok {
+				c++
+			}
+		}
+		return c
+	}
+	for _, corner := range []int{topo.ID(0, 0), topo.ID(3, 0), topo.ID(0, 3), topo.ID(3, 3)} {
+		if got := links(corner); got != 2 {
+			t.Errorf("corner %d has %d links, want 2", corner, got)
+		}
+	}
+	if got := links(topo.ID(1, 1)); got != 4 {
+		t.Errorf("interior switch has %d links, want 4", got)
+	}
+	// The torus keeps all four everywhere; the cmesh switch grid behaves
+	// like a mesh.
+	torus := Torus{W: 4, H: 4}
+	for id := 0; id < torus.NumNodes(); id++ {
+		for p := Port(0); p < NumPorts; p++ {
+			if _, ok := torus.Neighbor(id, p); !ok {
+				t.Fatalf("torus node %d missing port %v", id, p)
 			}
 		}
 	}
@@ -69,75 +183,179 @@ func TestDist(t *testing.T) {
 			t.Errorf("Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
 		}
 	}
+	// The mesh pays the full Manhattan distance where the torus wraps.
+	mesh := Mesh{W: 4, H: 4}
+	if got := mesh.Dist(mesh.ID(0, 0), mesh.ID(3, 0)); got != 3 {
+		t.Errorf("mesh Dist corner-to-corner along x = %d, want 3", got)
+	}
+	if got := mesh.Dist(mesh.ID(0, 0), mesh.ID(3, 3)); got != 6 {
+		t.Errorf("mesh Dist corner-to-corner = %d, want 6", got)
+	}
 }
 
 // TestDistSymmetricQuick property-tests distance symmetry and the triangle
-// inequality over random node pairs.
+// inequality over random node pairs, on every kind.
 func TestDistSymmetricQuick(t *testing.T) {
-	topo, _ := NewTopology(5, 3)
-	n := topo.NumNodes()
-	fn := func(a, b, c uint8) bool {
-		x, y, z := int(a)%n, int(b)%n, int(c)%n
-		if topo.Dist(x, y) != topo.Dist(y, x) {
-			return false
+	for _, topo := range []Topology{Torus{W: 5, H: 3}, Mesh{W: 5, H: 3}, CMesh{W: 10, H: 6}} {
+		n := topo.NumNodes()
+		fn := func(a, b, c uint8) bool {
+			x, y, z := int(a)%n, int(b)%n, int(c)%n
+			if topo.Dist(x, y) != topo.Dist(y, x) {
+				return false
+			}
+			return topo.Dist(x, z) <= topo.Dist(x, y)+topo.Dist(y, z)
 		}
-		return topo.Dist(x, z) <= topo.Dist(x, y)+topo.Dist(y, z)
-	}
-	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Error(err)
+		if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%v: %v", topo.Kind(), err)
+		}
 	}
 }
 
-// TestProductivePortsReduceDistance verifies that every productive port
-// strictly reduces torus distance and that a non-empty set exists whenever
-// source != destination.
+// TestProductivePortsReduceDistance verifies that every productive port is
+// a real link that strictly reduces fabric distance and that a non-empty
+// set exists whenever source != destination — on every kind.
 func TestProductivePortsReduceDistance(t *testing.T) {
-	topo, _ := NewTopology(4, 4)
-	for src := 0; src < topo.NumNodes(); src++ {
-		for dst := 0; dst < topo.NumNodes(); dst++ {
-			if src == dst {
-				continue
-			}
-			sx, sy := topo.Coord(src)
-			dx, dy := topo.Coord(dst)
-			ports := topo.ProductivePorts(nil, sx, sy, dx, dy)
-			if len(ports) == 0 {
-				t.Fatalf("no productive port from %d to %d", src, dst)
-			}
-			d := topo.Dist(src, dst)
-			for _, p := range ports {
-				nb := topo.Neighbor(src, p)
-				if topo.Dist(nb, dst) != d-1 {
-					t.Errorf("port %v from %d to %d does not reduce distance", p, src, dst)
+	for _, topo := range []Topology{Torus{W: 4, H: 4}, Mesh{W: 4, H: 4}, CMesh{W: 8, H: 8}} {
+		for src := 0; src < topo.NumNodes(); src++ {
+			for dst := 0; dst < topo.NumNodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				sx, sy := topo.Coord(src)
+				dx, dy := topo.Coord(dst)
+				ports := topo.ProductivePorts(nil, sx, sy, dx, dy)
+				if len(ports) == 0 {
+					t.Fatalf("%v: no productive port from %d to %d", topo.Kind(), src, dst)
+				}
+				d := topo.Dist(src, dst)
+				for _, p := range ports {
+					nb, ok := topo.Neighbor(src, p)
+					if !ok {
+						t.Fatalf("%v: productive port %v from %d is not a link", topo.Kind(), p, src)
+					}
+					if topo.Dist(nb, dst) != d-1 {
+						t.Errorf("%v: port %v from %d to %d does not reduce distance", topo.Kind(), p, src, dst)
+					}
 				}
 			}
 		}
 	}
 }
 
-// TestXYFirstPortRoute walks XY routes and checks they terminate at the
-// destination within the torus distance.
+// TestXYFirstPortRoute walks XY routes on every kind and checks they
+// terminate at the destination within the fabric distance, never needing
+// a missing link.
 func TestXYFirstPortRoute(t *testing.T) {
-	topo, _ := NewTopology(4, 4)
-	for src := 0; src < topo.NumNodes(); src++ {
-		for dst := 0; dst < topo.NumNodes(); dst++ {
-			cur := src
-			hops := 0
-			for cur != dst {
-				x, y := topo.Coord(cur)
-				dx, dy := topo.Coord(dst)
-				p, ok := topo.XYFirstPort(x, y, dx, dy)
-				if !ok {
-					t.Fatalf("XYFirstPort said arrived but %d != %d", cur, dst)
+	for _, topo := range []Topology{Torus{W: 4, H: 4}, Mesh{W: 4, H: 4}, CMesh{W: 8, H: 6}} {
+		for src := 0; src < topo.NumNodes(); src++ {
+			for dst := 0; dst < topo.NumNodes(); dst++ {
+				cur := src
+				hops := 0
+				for cur != dst {
+					x, y := topo.Coord(cur)
+					dx, dy := topo.Coord(dst)
+					p, ok := topo.XYFirstPort(x, y, dx, dy)
+					if !ok {
+						t.Fatalf("%v: XYFirstPort said arrived but %d != %d", topo.Kind(), cur, dst)
+					}
+					nb, ok := topo.Neighbor(cur, p)
+					if !ok {
+						t.Fatalf("%v: XY route from %d used missing link %v at %d", topo.Kind(), src, p, cur)
+					}
+					cur = nb
+					hops++
+					if hops > 20 {
+						t.Fatalf("%v: XY route from %d to %d does not terminate", topo.Kind(), src, dst)
+					}
 				}
-				cur = topo.Neighbor(cur, p)
-				hops++
-				if hops > 10 {
-					t.Fatalf("XY route from %d to %d does not terminate", src, dst)
+				if hops != topo.Dist(src, dst) {
+					t.Errorf("%v: XY route %d->%d took %d hops, min %d", topo.Kind(), src, dst, hops, topo.Dist(src, dst))
 				}
 			}
-			if hops != topo.Dist(src, dst) {
-				t.Errorf("XY route %d->%d took %d hops, min %d", src, dst, hops, topo.Dist(src, dst))
+		}
+	}
+}
+
+// TestWrapCrossing pins the dateline capability hook: only the torus has
+// wrap-around links, exactly at its ring boundaries.
+func TestWrapCrossing(t *testing.T) {
+	torus := Torus{W: 4, H: 4}
+	if !torus.WrapCrossing(3, 1, East) || !torus.WrapCrossing(0, 1, West) ||
+		!torus.WrapCrossing(1, 3, North) || !torus.WrapCrossing(1, 0, South) {
+		t.Error("torus boundary hops should cross the dateline")
+	}
+	if torus.WrapCrossing(1, 1, East) || torus.WrapCrossing(2, 2, North) {
+		t.Error("torus interior hops should not cross the dateline")
+	}
+	for _, topo := range []Topology{Mesh{W: 4, H: 4}, CMesh{W: 8, H: 8}} {
+		w, h := topo.Dims()
+		for x := 0; x < w; x++ {
+			for y := 0; y < h; y++ {
+				for p := Port(0); p < NumPorts; p++ {
+					if topo.WrapCrossing(x, y, p) {
+						t.Fatalf("%v has no wrap links but WrapCrossing(%d,%d,%v) = true", topo.Kind(), x, y, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCMeshEndpointMapping pins the endpoint-space folding: a W x H
+// endpoint grid over a (W/2) x (H/2) switch grid, 2x2 tiles, distinct
+// crossbar slots per tile.
+func TestCMeshEndpointMapping(t *testing.T) {
+	topo := CMesh{W: 8, H: 6}
+	if topo.NumEndpoints() != 48 || topo.NumNodes() != 12 {
+		t.Fatalf("8x6 cmesh: %d endpoints on %d switches", topo.NumEndpoints(), topo.NumNodes())
+	}
+	if topo.Concentration() != CMeshConcentration {
+		t.Fatalf("concentration = %d", topo.Concentration())
+	}
+	perSwitch := make(map[int]map[int]bool)
+	for e := 0; e < topo.NumEndpoints(); e++ {
+		ex, ey := topo.EndpointCoord(e)
+		if topo.EndpointID(ex, ey) != e {
+			t.Errorf("EndpointCoord/EndpointID round trip failed for %d", e)
+		}
+		sw := topo.EndpointSwitch(e)
+		sx, sy := topo.SwitchOf(ex, ey)
+		if gotX, gotY := topo.Coord(sw); gotX != sx || gotY != sy {
+			t.Errorf("endpoint %d: EndpointSwitch %d at (%d,%d) but SwitchOf says (%d,%d)",
+				e, sw, gotX, gotY, sx, sy)
+		}
+		if ex/2 != sx || ey/2 != sy {
+			t.Errorf("endpoint (%d,%d) folded to switch (%d,%d)", ex, ey, sx, sy)
+		}
+		slot := topo.LocalIndex(ex, ey)
+		if slot < 0 || slot >= topo.Concentration() {
+			t.Fatalf("LocalIndex(%d,%d) = %d out of range", ex, ey, slot)
+		}
+		if perSwitch[sw] == nil {
+			perSwitch[sw] = map[int]bool{}
+		}
+		if perSwitch[sw][slot] {
+			t.Errorf("switch %d slot %d claimed by two endpoints", sw, slot)
+		}
+		perSwitch[sw][slot] = true
+	}
+	for sw, slots := range perSwitch {
+		if len(slots) != CMeshConcentration {
+			t.Errorf("switch %d serves %d endpoints, want %d", sw, len(slots), CMeshConcentration)
+		}
+	}
+	// Torus and mesh keep endpoint space == switch space.
+	for _, flat := range []Topology{Torus{W: 4, H: 4}, Mesh{W: 4, H: 4}} {
+		if flat.Concentration() != 1 || flat.NumEndpoints() != flat.NumNodes() {
+			t.Errorf("%v: unexpected concentration", flat.Kind())
+		}
+		for e := 0; e < flat.NumEndpoints(); e++ {
+			ex, ey := flat.EndpointCoord(e)
+			if sx, sy := flat.SwitchOf(ex, ey); sx != ex || sy != ey {
+				t.Errorf("%v: SwitchOf not identity for endpoint %d", flat.Kind(), e)
+			}
+			if flat.EndpointSwitch(e) != e || flat.LocalIndex(ex, ey) != 0 {
+				t.Errorf("%v: endpoint %d not its own switch", flat.Kind(), e)
 			}
 		}
 	}

@@ -101,7 +101,8 @@ type TrafficNode struct {
 	QueueLat  stats.Running // cycles spent in the source queue
 }
 
-// NewTrafficNode creates a traffic node for switch id.
+// NewTrafficNode creates a traffic node for endpoint id (a switch id on
+// non-concentrated topologies; a crossbar slot on the cmesh).
 func NewTrafficNode(id int, topo Topology, cfg TrafficConfig, seed int64) *TrafficNode {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
@@ -140,7 +141,7 @@ func (t *TrafficNode) Step(now int64) {
 	if dst == t.id {
 		return
 	}
-	dx, dy := t.topo.Coord(dst)
+	dx, dy := t.topo.EndpointCoord(dst)
 	t.pktID++
 	f := flit.Flit{
 		DstX: uint8(dx), DstY: uint8(dy),
@@ -154,10 +155,14 @@ func (t *TrafficNode) Step(now int64) {
 	t.Sent.Inc()
 }
 
+// destination picks this cycle's destination endpoint. All patterns are
+// defined on the endpoint grid, so they are the same address streams on
+// every topology serving the same endpoint count; only the fabric beneath
+// them changes.
 func (t *TrafficNode) destination() int {
 	switch t.cfg.Pattern {
 	case Uniform:
-		d := t.rng.Intn(t.topo.NumNodes() - 1)
+		d := t.rng.Intn(t.topo.NumEndpoints() - 1)
 		if d >= t.id {
 			d++
 		}
@@ -167,7 +172,11 @@ func (t *TrafficNode) destination() int {
 	case Hotspot:
 		return t.cfg.HotspotNode
 	case Neighbor:
-		return t.topo.Neighbor(t.id, East)
+		// The east neighbour on the endpoint grid, wrapping in address
+		// space (on a mesh the wrap destination is routed the long way
+		// through the fabric — the addressing is topology-independent).
+		ex, ey := t.topo.EndpointCoord(t.id)
+		return t.topo.EndpointID(ex+1, ey)
 	case BitComplement, BitReversal, Shuffle, Tornado:
 		return PermutationDest(t.cfg.Pattern, t.topo, t.id)
 	}

@@ -92,10 +92,13 @@ func newWormholeSwitch(rp routerPorts) *WormholeSwitch {
 }
 
 // wireCredits resolves the upstream switch behind every input port; called
-// by NewRouterNetwork after all switches exist.
+// by NewRouterNetwork after all switches exist. Ports without a link (mesh
+// edges) stay nil; no flit ever arrives there, so no credit ever returns.
 func (s *WormholeSwitch) wireCredits(n *Network) {
 	for p := Port(0); p < NumPorts; p++ {
-		s.up[p] = n.Routers[s.topo.Neighbor(s.id, p)].(*WormholeSwitch)
+		if nb, ok := s.topo.Neighbor(s.id, p); ok {
+			s.up[p] = n.Routers[nb].(*WormholeSwitch)
+		}
 	}
 }
 
@@ -161,29 +164,17 @@ func (s *WormholeSwitch) spendCredit(p Port, v uint8) {
 // the VC the flit currently occupies and whether it is turning into a new
 // dimension (or entering the network). Dateline rule: each ring is
 // traversed on VC0 until the hop that crosses the wrap-around link, VC1
-// afterwards.
+// afterwards. The topology's WrapCrossing capability hook says where the
+// datelines sit; on fabrics whose rings never wrap (mesh, cmesh) it is
+// constantly false and the escape VC is never allocated — dimension-order
+// routing alone is deadlock free there.
 func (s *WormholeSwitch) sendVC(cur uint8, p Port, newDim bool) uint8 {
 	vc := cur
 	if newDim {
 		vc = 0
 	}
-	switch p {
-	case East:
-		if s.x == s.topo.W-1 {
-			vc = 1
-		}
-	case West:
-		if s.x == 0 {
-			vc = 1
-		}
-	case North:
-		if s.y == s.topo.H-1 {
-			vc = 1
-		}
-	case South:
-		if s.y == 0 {
-			vc = 1
-		}
+	if s.topo.WrapCrossing(s.x, s.y, p) {
+		vc = 1
 	}
 	return vc
 }
@@ -256,7 +247,8 @@ func (s *WormholeSwitch) Step(now int64) {
 	ejected := false
 	for _, h := range heads {
 		f := h.f
-		if int(f.DstX) == s.x && int(f.DstY) == s.y {
+		dx, dy := s.dstSwitch(f)
+		if dx == s.x && dy == s.y {
 			// Ejection port: one flit per cycle; younger heads wait.
 			if ejected {
 				continue
@@ -268,7 +260,7 @@ func (s *WormholeSwitch) Step(now int64) {
 			s.local.Deliver(f, now)
 			continue
 		}
-		p, ok := s.topo.XYFirstPort(s.x, s.y, int(f.DstX), int(f.DstY))
+		p, ok := s.topo.XYFirstPort(s.x, s.y, dx, dy)
 		if !ok {
 			panic("noc: wormhole flit at destination not ejected")
 		}
@@ -297,6 +289,9 @@ func (s *WormholeSwitch) Step(now int64) {
 	// allocation models the one-cycle buffer-write stage (a flit cannot
 	// cut through the switch in its arrival cycle).
 	for p := 0; p < int(NumPorts); p++ {
+		if s.in[p] == nil {
+			continue
+		}
 		if f, ok := s.in[p].Get(); ok {
 			if !s.bufs[p][f.Meta.VC].Push(f) {
 				panic("noc: wormhole input buffer overrun (credit protocol violated)")

@@ -53,6 +53,9 @@ func (s *XYSwitch) EjectedCount() int64 { return s.Stats.Ejected.Value() }
 func (s *XYSwitch) Step(now int64) {
 	// Accept arrivals into input queues.
 	for p := 0; p < int(NumPorts); p++ {
+		if s.in[p] == nil {
+			continue
+		}
 		if f, ok := s.in[p].Get(); ok {
 			s.queues[p] = append(s.queues[p], f)
 			s.buffered++
@@ -88,7 +91,8 @@ func (s *XYSwitch) Step(now int64) {
 			continue
 		}
 		f := s.queues[q][0]
-		if int(f.DstX) == s.x && int(f.DstY) == s.y {
+		dx, dy := s.dstSwitch(f)
+		if dx == s.x && dy == s.y {
 			if ejectTaken {
 				continue
 			}
@@ -97,7 +101,7 @@ func (s *XYSwitch) Step(now int64) {
 			s.net.noteDelivered(f, now)
 			s.local.Deliver(f, now)
 		} else {
-			p, ok := s.topo.XYFirstPort(s.x, s.y, int(f.DstX), int(f.DstY))
+			p, ok := s.topo.XYFirstPort(s.x, s.y, dx, dy)
 			if !ok || outTaken[p] {
 				continue
 			}

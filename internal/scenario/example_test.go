@@ -37,5 +37,5 @@ func ExampleParse() {
 	}`))
 	fmt.Println(err)
 	// Output:
-	// "noc.patterns": noc: bit-reversal requires a power-of-two node count; 5x3 = 15 is not
+	// "noc.patterns": noc: bit-reversal requires a power-of-two endpoint count; 5x3 torus = 15 is not
 }

@@ -36,14 +36,14 @@ func Table(results []Result) string {
 				r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, 100*r.MissRate, r.AreaMM2, r.Speedup)
 		}
 	} else {
-		fmt.Fprintln(w, "router\tpattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tpeak-buf\tdelivered\t")
+		fmt.Fprintln(w, "topo\trouter\tpattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tpeak-buf\tdelivered\t")
 		for _, r := range results {
 			name := r.Pattern
 			if r.Bursty {
 				name = "bursty+" + name
 			}
-			fmt.Fprintf(w, "%s\t%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%d\t\n",
-				r.Router, name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%d\t\n",
+				r.Topology, r.Router, name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
 				r.DeflectionRate, r.PeakBuffer, r.Delivered)
 		}
 	}
@@ -64,10 +64,10 @@ func CSV(results []Result) string {
 		}
 		return b.String()
 	}
-	b.WriteString("pattern,rate,seed,router,bursty,cycles,delivered,throughput,mean_latency,p99_latency,deflection_rate,peak_buffer\n")
+	b.WriteString("pattern,rate,seed,topology,router,bursty,cycles,delivered,throughput,mean_latency,p99_latency,deflection_rate,peak_buffer\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%g,%d,%s,%t,%d,%d,%.6f,%.3f,%g,%.4f,%d\n",
-			r.Pattern, r.Rate, r.Seed, r.Router, r.Bursty, r.Cycles, r.Delivered,
+		fmt.Fprintf(&b, "%s,%g,%d,%s,%s,%t,%d,%d,%.6f,%.3f,%g,%.4f,%d\n",
+			r.Pattern, r.Rate, r.Seed, r.Topology, r.Router, r.Bursty, r.Cycles, r.Delivered,
 			r.Throughput, r.MeanLatency, r.P99Latency, r.DeflectionRate, r.PeakBuffer)
 	}
 	return b.String()
@@ -81,6 +81,7 @@ func CSV(results []Result) string {
 type nocJSON struct {
 	Scenario       string  `json:"scenario"`
 	Workload       string  `json:"workload"`
+	Topology       string  `json:"topology"`
 	Router         string  `json:"router"`
 	Pattern        string  `json:"pattern"`
 	Rate           float64 `json:"rate"`
@@ -123,7 +124,7 @@ func JSON(results []Result) (string, error) {
 		} else {
 			rows[i] = nocJSON{
 				Scenario: r.Scenario, Workload: r.Workload,
-				Router: r.Router, Pattern: r.Pattern, Rate: r.Rate, Seed: r.Seed, Bursty: r.Bursty,
+				Topology: r.Topology, Router: r.Router, Pattern: r.Pattern, Rate: r.Rate, Seed: r.Seed, Bursty: r.Bursty,
 				Cycles: r.Cycles, Delivered: r.Delivered, Throughput: r.Throughput,
 				MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
 				DeflectionRate: r.DeflectionRate, PeakBuffer: r.PeakBuffer,
@@ -145,8 +146,9 @@ func Summary(s *Scenario) string {
 		axes = fmt.Sprintf("%d cores x %d caches x %d policies",
 			len(s.Jacobi.Cores), len(s.Jacobi.CacheKB), max(1, len(s.Jacobi.Policies)))
 	} else {
-		axes = fmt.Sprintf("%d routers x %d patterns x %d rates x %d seeds",
-			max(1, len(s.NoC.Routers)), len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
+		axes = fmt.Sprintf("%d topologies x %d routers x %d patterns x %d rates x %d seeds",
+			max(1, len(s.NoC.Topologies)), max(1, len(s.NoC.Routers)),
+			len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
 	}
 	return fmt.Sprintf("%s: %s workload, %s = %d points", s.Name, s.Workload, axes, s.NumPoints())
 }

@@ -17,11 +17,12 @@ type Result struct {
 	Workload string `json:"workload"`
 
 	// NoC axes.
-	Router  string  `json:"router,omitempty"`
-	Pattern string  `json:"pattern,omitempty"`
-	Rate    float64 `json:"rate,omitempty"`
-	Seed    int64   `json:"seed,omitempty"`
-	Bursty  bool    `json:"bursty,omitempty"`
+	Topology string  `json:"topology,omitempty"`
+	Router   string  `json:"router,omitempty"`
+	Pattern  string  `json:"pattern,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Bursty   bool    `json:"bursty,omitempty"`
 
 	// Jacobi axes.
 	Cores   int    `json:"cores,omitempty"`
@@ -141,19 +142,24 @@ func DSEPoints(results []Result) []dse.Point {
 	return points
 }
 
-// runNoC expands routers x patterns x rates x seeds and executes each
-// point on the shared fixed worker pool (par.ForEach, as dse.Sweep does):
-// every point is an independent deterministic simulation, so each slot of
-// the result slice is written by exactly one job and the whole set is
-// reproducible.
+// runNoC expands topologies x routers x patterns x rates x seeds and
+// executes each point on the shared fixed worker pool (par.ForEach, as
+// dse.Sweep does): every point is an independent deterministic
+// simulation, so each slot of the result slice is written by exactly one
+// job and the whole set is reproducible.
 func runNoC(s *Scenario) ([]Result, error) {
 	c := s.NoC
-	topo, err := noc.NewTopology(c.Width, c.Height)
-	if err != nil {
-		return nil, err
+	topos := make([]noc.Topology, 0, len(c.topologyList()))
+	for _, tk := range c.topologyList() {
+		topo, err := noc.NewTopologyOfKind(tk, c.Width, c.Height)
+		if err != nil {
+			return nil, err
+		}
+		topos = append(topos, topo)
 	}
 	type job struct {
 		idx     int
+		topo    noc.Topology
 		router  noc.RouterKind
 		pattern noc.Pattern
 		rate    float64
@@ -165,17 +171,21 @@ func runNoC(s *Scenario) ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := noc.ValidatePattern(p, topo); err != nil {
-			return nil, err
+		for _, topo := range topos {
+			if err := noc.ValidatePattern(p, topo); err != nil {
+				return nil, err
+			}
 		}
 		patterns = append(patterns, p)
 	}
 	var jobs []job
-	for _, router := range c.routerList() {
-		for _, p := range patterns {
-			for _, rate := range c.Rates {
-				for _, seed := range s.seedList() {
-					jobs = append(jobs, job{idx: len(jobs), router: router, pattern: p, rate: rate, seed: seed})
+	for _, topo := range topos {
+		for _, router := range c.routerList() {
+			for _, p := range patterns {
+				for _, rate := range c.Rates {
+					for _, seed := range s.seedList() {
+						jobs = append(jobs, job{idx: len(jobs), topo: topo, router: router, pattern: p, rate: rate, seed: seed})
+					}
 				}
 			}
 		}
@@ -183,16 +193,16 @@ func runNoC(s *Scenario) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	par.ForEach(len(jobs), s.Parallelism, func(i int) {
 		j := jobs[i]
-		r := runNoCPoint(topo, c, j.router, j.pattern, j.rate, j.seed)
+		r := runNoCPoint(j.topo, c, j.router, j.pattern, j.rate, j.seed)
 		r.Scenario = s.Name
 		results[j.idx] = r
 	})
 	return results, nil
 }
 
-// runNoCPoint simulates one (router, pattern, rate, seed) point through
-// noc.Measure, the execution path shared with dse.RouterAblation and
-// cmd/medea-noc.
+// runNoCPoint simulates one (topology, router, pattern, rate, seed) point
+// through noc.Measure, the execution path shared with dse.RouterAblation,
+// dse.TopologyAblation and cmd/medea-noc.
 func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) Result {
 	measure := c.MeasureCycles
 	if measure == 0 {
@@ -217,6 +227,7 @@ func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern
 	})
 	return Result{
 		Workload:       WorkloadNoC,
+		Topology:       topo.Kind().String(),
 		Router:         router.String(),
 		Pattern:        pattern.String(),
 		Rate:           rate,

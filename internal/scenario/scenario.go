@@ -74,9 +74,17 @@ type Scenario struct {
 
 // NoCConfig describes a synthetic-traffic experiment on the bare network.
 type NoCConfig struct {
-	// Width and Height size the folded torus (both >= 2).
+	// Width and Height size the endpoint grid (both >= 2; the torus and
+	// mesh put one switch under every endpoint, the cmesh needs both even
+	// and >= 4 and folds each 2x2 endpoint tile onto one switch).
 	Width  int `json:"width"`
 	Height int `json:"height"`
+	// Topologies lists fabrics by name (see noc.TopologyNames); one sweep
+	// axis. Empty means the paper's folded torus only. Every listed
+	// pattern must be valid on every listed topology (validation is
+	// per-topology: bit patterns need a power-of-two endpoint count,
+	// transpose a square endpoint grid).
+	Topologies []string `json:"topologies,omitempty"`
 	// Patterns lists traffic patterns by name (see noc.PatternNames);
 	// one sweep axis.
 	Patterns []string `json:"patterns"`
@@ -209,9 +217,31 @@ func (s *Scenario) Validate() error {
 }
 
 func (c *NoCConfig) validate() error {
-	topo, err := noc.NewTopology(c.Width, c.Height)
-	if err != nil {
-		return fmt.Errorf(`"noc": %w`, err)
+	// Resolve the topology axis first: every listed fabric must build at
+	// this size, and every pattern must be valid on every fabric.
+	seenT := map[noc.TopologyKind]bool{}
+	topos := make([]noc.Topology, 0, len(c.Topologies)+1)
+	for _, name := range c.Topologies {
+		k, err := noc.ParseTopology(name)
+		if err != nil {
+			return fmt.Errorf(`"noc.topologies": %w`, err)
+		}
+		if seenT[k] {
+			return fmt.Errorf(`"noc.topologies": %v listed twice`, k)
+		}
+		seenT[k] = true
+		topo, err := noc.NewTopologyOfKind(k, c.Width, c.Height)
+		if err != nil {
+			return fmt.Errorf(`"noc": %w`, err)
+		}
+		topos = append(topos, topo)
+	}
+	if len(topos) == 0 {
+		topo, err := noc.NewTopology(c.Width, c.Height)
+		if err != nil {
+			return fmt.Errorf(`"noc": %w`, err)
+		}
+		topos = append(topos, topo)
 	}
 	if len(c.Patterns) == 0 {
 		return fmt.Errorf(`"noc.patterns" must list at least one of: %s`,
@@ -223,8 +253,10 @@ func (c *NoCConfig) validate() error {
 		if err != nil {
 			return fmt.Errorf(`"noc.patterns": %w`, err)
 		}
-		if err := noc.ValidatePattern(p, topo); err != nil {
-			return fmt.Errorf(`"noc.patterns": %w`, err)
+		for _, topo := range topos {
+			if err := noc.ValidatePattern(p, topo); err != nil {
+				return fmt.Errorf(`"noc.patterns": %w`, err)
+			}
 		}
 		if seen[p] {
 			return fmt.Errorf(`"noc.patterns": %v listed twice`, p)
@@ -250,9 +282,9 @@ func (c *NoCConfig) validate() error {
 			return fmt.Errorf(`"noc.rates": offered load %g outside (0, 1]`, r)
 		}
 	}
-	if c.HotspotNode < 0 || c.HotspotNode >= topo.NumNodes() {
-		return fmt.Errorf(`"noc.hotspot_node" %d outside the %dx%d torus (0..%d)`,
-			c.HotspotNode, c.Width, c.Height, topo.NumNodes()-1)
+	if c.HotspotNode < 0 || c.HotspotNode >= topos[0].NumEndpoints() {
+		return fmt.Errorf(`"noc.hotspot_node" %d outside the %dx%d endpoint grid (0..%d)`,
+			c.HotspotNode, c.Width, c.Height, topos[0].NumEndpoints()-1)
 	}
 	if c.QueueCap < 0 {
 		return fmt.Errorf(`"noc.queue_cap" must be >= 0, got %d`, c.QueueCap)
@@ -335,7 +367,8 @@ func (s *Scenario) NumPoints() int {
 		}
 		return len(s.Jacobi.Cores) * len(s.Jacobi.CacheKB) * pols
 	}
-	return len(s.NoC.routerList()) * len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
+	return len(s.NoC.topologyList()) * len(s.NoC.routerList()) *
+		len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
 }
 
 // routerList resolves the router axis: the listed routers, or the paper's
@@ -350,6 +383,24 @@ func (c *NoCConfig) routerList() []noc.RouterKind {
 		k, err := noc.ParseRouter(name)
 		if err != nil {
 			panic(fmt.Sprintf("scenario: validated router failed to parse: %v", err))
+		}
+		kinds[i] = k
+	}
+	return kinds
+}
+
+// topologyList resolves the topology axis: the listed fabrics, or the
+// paper's folded torus when none are named. The scenario must have passed
+// Validate, so ParseTopology cannot fail here.
+func (c *NoCConfig) topologyList() []noc.TopologyKind {
+	if len(c.Topologies) == 0 {
+		return []noc.TopologyKind{noc.TopoTorus}
+	}
+	kinds := make([]noc.TopologyKind, len(c.Topologies))
+	for i, name := range c.Topologies {
+		k, err := noc.ParseTopology(name)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: validated topology failed to parse: %v", err))
 		}
 		kinds[i] = k
 	}
