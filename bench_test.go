@@ -228,6 +228,32 @@ func BenchmarkTopologyAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelAblation is the experiment K-1: every compute kernel
+// (jacobi, matmul, syncbench) in both of the paper's programming models
+// across core counts, reporting the per-kernel peak message-passing
+// speedup and the best shared-memory-over-message cycle ratio. The shape
+// assertions live in internal/scenario.TestKernelAblationGolden and
+// dse.TestKernelAblationShapes; this benchmark records the numbers behind
+// them.
+func BenchmarkKernelAblation(b *testing.B) {
+	o := dse.DefaultKernelAblationOptions()
+	for i := 0; i < b.N; i++ {
+		points, err := dse.KernelAblation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + dse.KernelAblationTable(o, points))
+			adv := dse.MessagingAdvantageByKernel(points)
+			peak := dse.PeakSpeedupByKernel(points)
+			for _, kind := range dse.AllKernels() {
+				b.ReportMetric(peak[kind], kind.String()+"-peak-speedup")
+				b.ReportMetric(adv[kind], kind.String()+"-sm-over-mp")
+			}
+		}
+	}
+}
+
 // BenchmarkArbiterVariants is the ablation A-2: the three NoC-access
 // arbiter configurations of Section II-B under the Jacobi workload.
 func BenchmarkArbiterVariants(b *testing.B) {

@@ -28,16 +28,11 @@ func main() {
 	flag.Parse()
 
 	o := dse.DefaultOptions(*n)
-	switch *variant {
-	case "hybrid-full":
-		o.Variant = jacobi.HybridFull
-	case "hybrid-sync":
-		o.Variant = jacobi.HybridSync
-	case "pure-sm":
-		o.Variant = jacobi.PureSM
-	default:
-		log.Fatalf("unknown variant %q", *variant)
+	v, err := jacobi.ParseVariant(*variant)
+	if err != nil {
+		log.Fatal(err)
 	}
+	o.Variant = v
 
 	log.Printf("sweeping %d configurations on a %dx%d grid (%v)...",
 		len(o.Cores)*len(o.CachesKB)*len(o.Policies), *n, *n, o.Variant)

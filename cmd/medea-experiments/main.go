@@ -1,48 +1,79 @@
 // Command medea-experiments regenerates the tables and figures of the
 // paper's evaluation (Figures 6-9 plus the hybrid-vs-shared-memory prose
-// analysis). Absolute cycle counts differ from the authors' Xtensa
-// testbed; the shapes — who wins, by what factor, where the knees fall —
-// are the reproduction targets (see DESIGN.md's experiment index).
+// analysis) and the beyond-paper kernel experiments. Absolute cycle
+// counts differ from the authors' Xtensa testbed; the shapes — who wins,
+// by what factor, where the knees fall — are the reproduction targets
+// (see DESIGN.md's experiment index and REPRODUCING.md for the full
+// figure/table -> command map).
+//
+// Every experiment runs through the same execution paths as the
+// declarative scenario runner (dse.Sweep, dse.KernelSweep), so the
+// hand-coded tables here and the JSON scenarios under examples/scenarios/
+// cannot drift apart.
 //
 // Examples:
 //
 //	medea-experiments -fig all -full
+//	medea-experiments -fig kernel -workloads jacobi,matmul -variants hybrid-full,pure-sm
 //	medea-experiments -fig 8 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/dse"
-	"repro/internal/syncbench"
+	"repro/internal/jacobi"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("medea-experiments: ")
-
-	fig := flag.String("fig", "all", "which experiment: 6 | 7 | 8 | 9 | hybrid | sync | barrier | all")
-	full := flag.Bool("full", false, "run the paper's full parameter grid (slower)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
-
-	// Errors propagate back here instead of os.Exit-ing in place so the
-	// profile defers inside run still flush (a profile of a failing run is
-	// exactly the one worth keeping).
-	if err := run(*fig, *full, *cpuprofile, *memprofile); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(fig string, full bool, cpuprofile, memprofile string) error {
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
+// run executes the CLI against args, writing tables to stdout. Errors
+// propagate back here instead of os.Exit-ing in place so the profile
+// defers still flush (a profile of a failing run is exactly the one worth
+// keeping).
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("medea-experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which experiment: 6 | 7 | 8 | 9 | hybrid | sync | barrier | kernel | all")
+	full := fs.Bool("full", false, "run the paper's full parameter grid (slower)")
+	workloads := fs.String("workloads", "", "-fig kernel only: comma-separated kernels to sweep (default all; see -fig kernel)")
+	variants := fs.String("variants", "", "-fig kernel only: comma-separated programming models (default hybrid-full,pure-sm)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: medea-experiments [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "Regenerates the paper's figures and the beyond-paper kernel ablation\n")
+		fmt.Fprintf(fs.Output(), "(REPRODUCING.md maps every figure/table to its invocation).\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -help: usage already printed, exit clean
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if (*workloads != "" || *variants != "") && *fig != "kernel" {
+		return fmt.Errorf("-workloads/-variants only apply to -fig kernel (got -fig %s)", *fig)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			return err
 		}
@@ -55,9 +86,9 @@ func run(fig string, full bool, cpuprofile, memprofile string) error {
 			f.Close()
 		}()
 	}
-	if memprofile != "" {
+	if *memprofile != "" {
 		defer func() {
-			f, err := os.Create(memprofile)
+			f, err := os.Create(*memprofile)
 			if err != nil {
 				log.Print(err)
 				return
@@ -71,65 +102,130 @@ func run(fig string, full bool, cpuprofile, memprofile string) error {
 	}
 
 	fid := dse.Quick
-	if full {
+	if *full {
 		fid = dse.Full
 	}
 
-	switch fig {
+	switch *fig {
 	case "6":
 		t, _, err := dse.Fig6(fid)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	case "7":
 		_, pts, err := dse.Fig6(fid)
 		if err != nil {
 			return err
 		}
-		fmt.Println(dse.Fig7(pts))
+		fmt.Fprintln(stdout, dse.Fig7(pts))
 	case "8":
 		t, _, err := dse.Fig8(fid)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	case "9":
 		_, pts, err := dse.Fig8(fid)
 		if err != nil {
 			return err
 		}
-		fmt.Println(dse.Fig9(pts))
+		fmt.Fprintln(stdout, dse.Fig9(pts))
 	case "hybrid":
 		t, _, err := dse.HybridComparison(fid)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	case "sync":
 		t, _, err := dse.SmallCacheComparison(fid)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	case "barrier":
-		cores := []int{2, 4, 8}
-		if fid == dse.Full {
-			cores = []int{2, 4, 6, 8, 10, 12, 15}
+		// S-1: the synchronization primitives in isolation — the kernel
+		// ablation restricted to the syncbench kernel, one execution path
+		// with -fig kernel and the kernel-ablation scenario.
+		o := dse.DefaultKernelAblationOptions()
+		o.Kernels = []dse.Kernel{dse.KernelSyncbench}
+		if fid == dse.Quick {
+			o.Cores = []int{2, 4, 8}
+		} else {
+			o.Cores = []int{2, 4, 6, 8, 10, 12, 15}
 		}
-		t, err := syncbench.Table(cores, 20)
+		points, err := dse.KernelAblation(o)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, dse.KernelAblationTable(o, points))
+	case "kernel":
+		// K-1: per-kernel speedup vs cores in both programming models.
+		o := dse.DefaultKernelAblationOptions()
+		if fid == dse.Full {
+			o.Cores = dse.PaperCores()
+		}
+		kernels, err := parseKernels(*workloads)
+		if err != nil {
+			return err
+		}
+		if kernels != nil {
+			o.Kernels = kernels
+		}
+		vars, err := parseVariants(*variants)
+		if err != nil {
+			return err
+		}
+		if vars != nil {
+			o.Variants = vars
+		}
+		points, err := dse.KernelAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, dse.KernelAblationTable(o, points))
 	case "all":
 		t, err := dse.AllExperiments(fid)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	default:
-		return fmt.Errorf("unknown -fig %q", fig)
+		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	return nil
+}
+
+// parseList resolves a comma-separated axis filter through the axis's
+// canonical parser, rejecting duplicates; an empty flag keeps the
+// experiment's default (nil).
+func parseList[T comparable](flagName, s string, parse func(string) (T, error)) ([]T, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []T
+	seen := map[T]bool{}
+	for _, name := range strings.Split(s, ",") {
+		v, err := parse(name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", flagName, err)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("%s: %v listed twice", flagName, v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseKernels resolves the -workloads filter; empty means every kernel.
+func parseKernels(s string) ([]dse.Kernel, error) {
+	return parseList("-workloads", s, dse.ParseKernel)
+}
+
+// parseVariants resolves the -variants filter; empty keeps the default
+// hybrid-full vs pure-sm comparison.
+func parseVariants(s string) ([]jacobi.Variant, error) {
+	return parseList("-variants", s, jacobi.ParseVariant)
 }

@@ -1,14 +1,18 @@
 // Command medea-scenarios runs declarative JSON scenario files: each file
-// names a workload (jacobi or noc-synthetic) and its sweep axes, and the
-// runner executes the cross-product in parallel and prints one row per
-// point as a table, CSV or JSON. Ready-to-run files live in
-// examples/scenarios/; the format is documented in internal/scenario.
+// names its workloads (the jacobi, matmul and syncbench kernels, or
+// synthetic noc traffic) and sweep axes, and the runner executes the
+// cross-product in parallel and prints one row per point as a table, CSV
+// or JSON. Ready-to-run files live in examples/scenarios/; the format is
+// documented in internal/scenario and the figure/table map in
+// REPRODUCING.md.
 //
 // Examples:
 //
 //	medea-scenarios examples/scenarios/patterns-sweep.json
+//	medea-scenarios examples/scenarios/kernel-ablation.json
 //	medea-scenarios -format csv -out fig8.csv examples/scenarios/fig8-quick.json
 //	medea-scenarios -validate examples/scenarios/*.json
+//	medea-scenarios -workloads
 //	medea-scenarios -patterns
 //	medea-scenarios -routers
 //	medea-scenarios -topologies
@@ -43,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 	outPath := fs.String("out", "", "write results to this file instead of stdout (single scenario only)")
 	par := fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS); overrides the scenario file")
 	validate := fs.Bool("validate", false, "load and validate the scenario files without running them")
+	workloads := fs.Bool("workloads", false, "list the available workloads and exit")
 	patterns := fs.Bool("patterns", false, "list the available traffic patterns and exit")
 	routers := fs.Bool("routers", false, "list the available router algorithms and exit")
 	topologies := fs.Bool("topologies", false, "list the available topologies and exit")
@@ -64,6 +69,10 @@ func run(args []string, stdout io.Writer) error {
 			*format, scenario.FormatTable, scenario.FormatCSV, scenario.FormatJSON)
 	}
 
+	if *workloads {
+		fmt.Fprintf(stdout, "%s\n", strings.Join(scenario.WorkloadNames(), "\n"))
+		return nil
+	}
 	if *patterns {
 		fmt.Fprintf(stdout, "%s\n", strings.Join(noc.PatternNames(), "\n"))
 		return nil

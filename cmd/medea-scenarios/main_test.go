@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/noc"
+	"repro/internal/scenario"
 )
 
 // TestGoldenFig8ViaCLI is the acceptance check for the scenario runner:
@@ -64,6 +65,69 @@ func TestPatternsFlagListsEverything(t *testing.T) {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-patterns output missing %q", name)
 		}
+	}
+}
+
+func TestWorkloadsFlagListsEverything(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-workloads"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.WorkloadNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-workloads output missing %q", name)
+		}
+	}
+}
+
+// TestKernelScenarioViaCLI runs a small multi-kernel scenario end to end
+// through the CLI: one block per workload, each rendered by its schema.
+func TestKernelScenarioViaCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	if err := os.WriteFile(path, []byte(`{
+		"workloads": ["matmul", "syncbench"],
+		"kernel": {"n": 8, "cores": [2], "cache_kb": [4],
+		           "variants": ["hybrid-full", "pure-sm"], "rounds": 3}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"total-cycles", "cycles/round", "pure-sm"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("kernel scenario output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestInvalidKernelCombosViaCLI: invalid workload/variant combinations
+// must fail at load time with actionable messages, before any sweep runs.
+func TestInvalidKernelCombosViaCLI(t *testing.T) {
+	cases := []struct {
+		name, json, wantSub string
+	}{
+		{"unknown workload", `{"workload": "fft", "kernel": {"n": 8, "cores": [2], "cache_kb": [4]}}`, "unknown workload"},
+		{"noc in workloads", `{"workloads": ["jacobi", "noc-synthetic"], "kernel": {"n": 8, "cores": [2], "cache_kb": [4]}}`, "kernel workloads"},
+		{"syncbench hybrid-sync", `{"workload": "syncbench", "kernel": {"cores": [2], "cache_kb": [4], "variants": ["hybrid-sync"]}}`, "hybrid-sync"},
+		{"unknown variant", `{"workload": "matmul", "kernel": {"n": 8, "cores": [2], "cache_kb": [4], "variant": "mpi"}}`, "unknown variant"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.json")
+			if err := os.WriteFile(path, []byte(c.json), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			err := run([]string{path}, &out)
+			if err == nil {
+				t.Fatalf("invalid scenario accepted:\n%s", c.json)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
 	}
 }
 

@@ -99,14 +99,8 @@ func parsePolicy(s string) (cache.Policy, error) {
 	return 0, fmt.Errorf("unknown policy %q (want wb or wt)", s)
 }
 
+// parseVariant delegates to the shared axis vocabulary in
+// internal/jacobi, so every binary accepts the same spellings.
 func parseVariant(s string) (jacobi.Variant, error) {
-	switch s {
-	case "hybrid-full":
-		return jacobi.HybridFull, nil
-	case "hybrid-sync":
-		return jacobi.HybridSync, nil
-	case "pure-sm":
-		return jacobi.PureSM, nil
-	}
-	return 0, fmt.Errorf("unknown variant %q", s)
+	return jacobi.ParseVariant(s)
 }

@@ -25,6 +25,12 @@ type Point struct {
 	AreaMM2       float64
 	Speedup       float64 // relative to the smallest-area configuration
 	Label         string  // paper-style "11P_16k$" label
+
+	// MPMMUBusy and NoCFlits quantify where the communication went: memory-
+	// node occupancy versus message-path traffic (the paper's hybrid
+	// argument). The kernel sweeps carry them into KernelPoint.
+	MPMMUBusy int64
+	NoCFlits  int64
 }
 
 // Options parameterizes a sweep.
@@ -112,6 +118,8 @@ func Sweep(o Options) ([]Point, error) {
 			MissRate:      res.MissRate,
 			AreaMM2:       Area(j.cores, j.kb, cfg.MPMMUCacheKB),
 			Label:         fmt.Sprintf("%dP_%dk$", j.cores, j.kb),
+			MPMMUBusy:     res.MPMMUBusy,
+			NoCFlits:      res.NoCFlits,
 		}
 	})
 	for _, err := range errs {

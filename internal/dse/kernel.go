@@ -1,0 +1,508 @@
+package dse
+
+// This file implements the kernel axis and the kernel ablation
+// (experiment K-1): every compute kernel (jacobi, matmul, syncbench) run
+// in both of the paper's programming models — message passing
+// (hybrid-full) against pure shared memory — across core counts, from one
+// execution path. KernelSweep is that path: the scenario runner's kernel
+// workloads and the hand-coded K-1 table both delegate here, so the
+// declarative and programmatic results are golden-comparable
+// point-for-point.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/jacobi"
+	"repro/internal/matmul"
+	"repro/internal/par"
+	"repro/internal/syncbench"
+)
+
+// Kernel selects a compute kernel for KernelSweep. Kernels are a
+// first-class sweep axis: every kind runs on the same full MEDEA system
+// (cores + caches + MPMMU over the NoC) under the same Variant vocabulary,
+// so the cost of the two communication paths is directly comparable across
+// workloads with opposite communication profiles.
+type Kernel int
+
+// The three kernel implementations.
+const (
+	// KernelJacobi is the paper's application: per-iteration halo exchange
+	// (latency-bound communication).
+	KernelJacobi Kernel = iota
+	// KernelMatmul is the future-work matrix multiply: one bulk broadcast
+	// (bandwidth-bound communication).
+	KernelMatmul
+	// KernelSyncbench is the bare synchronization episode: barriers with
+	// no compute around them (pure synchronization latency).
+	KernelSyncbench
+
+	// numKernels counts the defined kernels (keep it last).
+	numKernels
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelJacobi:
+		return "jacobi"
+	case KernelMatmul:
+		return "matmul"
+	case KernelSyncbench:
+		return "syncbench"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// AllKernels returns every defined kernel in declaration order.
+func AllKernels() []Kernel {
+	out := make([]Kernel, numKernels)
+	for i := range out {
+		out[i] = Kernel(i)
+	}
+	return out
+}
+
+// KernelNames returns the canonical names of every kernel, for flag
+// documentation and error messages.
+func KernelNames() []string {
+	names := make([]string, numKernels)
+	for i := range names {
+		names[i] = Kernel(i).String()
+	}
+	return names
+}
+
+// ParseKernel resolves a kernel from its canonical name (as printed by
+// Kernel.String) or its numeric value. Matching is case-insensitive and
+// accepts "_" for "-", mirroring noc.ParseRouter.
+func ParseKernel(s string) (Kernel, error) {
+	norm := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), "_", "-")
+	for k := Kernel(0); k < numKernels; k++ {
+		if norm == k.String() {
+			return k, nil
+		}
+	}
+	if n, err := strconv.Atoi(norm); err == nil {
+		if n >= 0 && n < int(numKernels) {
+			return Kernel(n), nil
+		}
+		return 0, fmt.Errorf("dse: kernel index %d out of range [0, %d)", n, int(numKernels))
+	}
+	return 0, fmt.Errorf("dse: unknown kernel %q (have: %s)", s, strings.Join(KernelNames(), ", "))
+}
+
+// Supports reports whether the kernel defines the given variant. Jacobi
+// and matmul implement all three programming models; syncbench measures
+// the synchronization primitive itself, so the data-path-only distinction
+// between hybrid-full and hybrid-sync does not exist for it — it offers
+// the message barrier (hybrid-full) and the lock barrier (pure-sm).
+func (k Kernel) Supports(v jacobi.Variant) bool {
+	if k == KernelSyncbench {
+		return v == jacobi.HybridFull || v == jacobi.PureSM
+	}
+	return true
+}
+
+// KernelOptions parameterizes a KernelSweep over one kernel.
+type KernelOptions struct {
+	Kernel Kernel
+	// N is the problem size: the grid edge for jacobi, the matrix edge for
+	// matmul; syncbench ignores it.
+	N int
+	// Rounds is the number of synchronization episodes syncbench averages
+	// over (default 20); the other kernels ignore it.
+	Rounds int
+	// Cores, CachesKB and Policies are the design-space axes, exactly as
+	// in Options. Policies defaults to write-back.
+	Cores    []int
+	CachesKB []int
+	Policies []cache.Policy
+	// Variants lists the programming models to sweep; defaults to
+	// hybrid-full only. Every listed variant must be supported by the
+	// kernel (syncbench has no hybrid-sync).
+	Variants []jacobi.Variant
+	// Warmup and Measured are jacobi iteration counts (default 1 each);
+	// the other kernels ignore them.
+	Warmup   int
+	Measured int
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// KernelPoint is one evaluated (kernel, variant, configuration) point.
+type KernelPoint struct {
+	Kernel  Kernel
+	Variant jacobi.Variant
+	Compute int
+	CacheKB int
+	Policy  cache.Policy
+
+	// Cycles is the kernel's headline metric: cycles per iteration for
+	// jacobi, total barrier-to-barrier cycles for matmul, cycles per
+	// synchronization episode for syncbench.
+	Cycles int64
+	// TransferCycles covers matmul's B-distribution phase (0 otherwise).
+	TransferCycles int64
+	// MissRate is jacobi's mean L1 miss rate (0 otherwise).
+	MissRate float64
+	// AreaMM2 applies the chip-area model to the configuration.
+	AreaMM2 float64
+	// MPMMUBusy and NoCFlits quantify where the communication went:
+	// memory-node occupancy versus message-path traffic.
+	MPMMUBusy int64
+	NoCFlits  int64
+	// Speedup is relative to the smallest-area configuration of the same
+	// (kernel, variant) series, mirroring AttachSpeedup.
+	Speedup float64
+}
+
+func (o *KernelOptions) withDefaults() error {
+	if len(o.Cores) == 0 {
+		return fmt.Errorf("dse: kernel sweep needs at least one core count")
+	}
+	if len(o.CachesKB) == 0 {
+		return fmt.Errorf("dse: kernel sweep needs at least one cache size")
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = []cache.Policy{cache.WriteBack}
+	}
+	if len(o.Variants) == 0 {
+		o.Variants = []jacobi.Variant{jacobi.HybridFull}
+	}
+	for _, v := range o.Variants {
+		if !o.Kernel.Supports(v) {
+			return fmt.Errorf("dse: the %v kernel has no %v variant (it measures the barrier itself; use %v or %v)",
+				o.Kernel, v, jacobi.HybridFull, jacobi.PureSM)
+		}
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 20
+	}
+	if o.Rounds < 0 {
+		return fmt.Errorf("dse: rounds must be positive, got %d", o.Rounds)
+	}
+	if o.Warmup == 0 && o.Measured == 0 {
+		o.Warmup, o.Measured = 1, 1
+	}
+	if o.Measured == 0 {
+		o.Measured = 1
+	}
+	switch o.Kernel {
+	case KernelJacobi, KernelMatmul:
+		if o.N <= 0 {
+			return fmt.Errorf("dse: the %v kernel needs a problem size N", o.Kernel)
+		}
+	}
+	return nil
+}
+
+// KernelSweep evaluates the variants x policies x caches x cores
+// cross-product of one kernel and returns the points in deterministic
+// axis order (variants outermost, then policy, cache, cores — the same
+// inner ordering as Sweep). Speedup is attached per variant series. This
+// is the single execution path behind scenario kernel workloads,
+// KernelAblation and cmd/medea-experiments.
+func KernelSweep(o KernelOptions) ([]KernelPoint, error) {
+	if err := o.withDefaults(); err != nil {
+		return nil, err
+	}
+	var out []KernelPoint
+	for _, variant := range o.Variants {
+		pts, err := kernelVariantSweep(o, variant)
+		if err != nil {
+			return nil, err
+		}
+		attachKernelSpeedup(pts)
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// kernelVariantSweep runs one variant's policies x caches x cores grid.
+// Jacobi delegates to Sweep so the declarative path, the figure sweeps
+// and the kernel ablation share one execution path byte-for-byte.
+func kernelVariantSweep(o KernelOptions, variant jacobi.Variant) ([]KernelPoint, error) {
+	if o.Kernel == KernelJacobi {
+		pts, err := Sweep(Options{
+			N:           o.N,
+			Cores:       o.Cores,
+			CachesKB:    o.CachesKB,
+			Policies:    o.Policies,
+			Variant:     variant,
+			Warmup:      o.Warmup,
+			Measured:    o.Measured,
+			Parallelism: o.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]KernelPoint, len(pts))
+		for i, p := range pts {
+			out[i] = KernelPoint{
+				Kernel: KernelJacobi, Variant: variant,
+				Compute: p.Compute, CacheKB: p.CacheKB, Policy: p.Policy,
+				Cycles:   p.CyclesPerIter,
+				MissRate: p.MissRate,
+				AreaMM2:  p.AreaMM2,
+				// Speedup intentionally dropped: attachKernelSpeedup
+				// recomputes it identically over the same series.
+				MPMMUBusy: p.MPMMUBusy,
+				NoCFlits:  p.NoCFlits,
+			}
+		}
+		return out, nil
+	}
+
+	type job struct {
+		idx       int
+		cores, kb int
+		policy    cache.Policy
+	}
+	var jobs []job
+	for _, pol := range o.Policies {
+		for _, kb := range o.CachesKB {
+			for _, c := range o.Cores {
+				jobs = append(jobs, job{idx: len(jobs), cores: c, kb: kb, policy: pol})
+			}
+		}
+	}
+	points := make([]KernelPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	par.ForEach(len(jobs), o.Parallelism, func(i int) {
+		j := jobs[i]
+		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
+		p := KernelPoint{
+			Kernel: o.Kernel, Variant: variant,
+			Compute: j.cores, CacheKB: j.kb, Policy: j.policy,
+			AreaMM2: Area(j.cores, j.kb, cfg.MPMMUCacheKB),
+		}
+		switch o.Kernel {
+		case KernelMatmul:
+			res, err := matmul.Run(cfg, matmul.Spec{N: o.N}, variant)
+			if err != nil {
+				errs[j.idx] = err
+				return
+			}
+			p.Cycles = res.TotalCycles
+			p.TransferCycles = res.TransferCycles
+			p.MPMMUBusy = res.MPMMUBusy
+			p.NoCFlits = res.NoCFlits
+		case KernelSyncbench:
+			kind := syncbench.MessageBarrier
+			if variant == jacobi.PureSM {
+				kind = syncbench.LockBarrier
+			}
+			res, err := syncbench.MeasureWith(kind, cfg, o.Rounds)
+			if err != nil {
+				errs[j.idx] = err
+				return
+			}
+			p.Cycles = res.CyclesPerRound
+			p.MPMMUBusy = res.MPMMUBusy
+			p.NoCFlits = res.NoCFlits
+		}
+		points[j.idx] = p
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// attachKernelSpeedup fills Speedup relative to the smallest-area
+// configuration of the series, with AttachSpeedup's exact baseline choice
+// (equal areas break toward the slower point) so jacobi numbers match the
+// figure sweeps bit-for-bit.
+func attachKernelSpeedup(points []KernelPoint) {
+	if len(points) == 0 {
+		return
+	}
+	base := -1
+	for i, p := range points {
+		if base < 0 || p.AreaMM2 < points[base].AreaMM2 ||
+			(p.AreaMM2 == points[base].AreaMM2 && p.Cycles > points[base].Cycles) {
+			base = i
+		}
+	}
+	ref := float64(points[base].Cycles)
+	for i := range points {
+		points[i].Speedup = ref / float64(points[i].Cycles)
+	}
+}
+
+// KernelAblationOptions parameterizes KernelAblation. The zero value is
+// not runnable; use DefaultKernelAblationOptions.
+type KernelAblationOptions struct {
+	// N is the problem size shared by jacobi and matmul.
+	N int
+	// CacheKB fixes the L1 size (the ablation varies cores, not caches).
+	CacheKB int
+	// Rounds is the syncbench episode count.
+	Rounds int
+	Cores  []int
+	// Kernels defaults to every defined kernel.
+	Kernels []Kernel
+	// Variants defaults to the paper's core comparison: hybrid-full
+	// (message passing) against pure-sm (shared memory).
+	Variants []jacobi.Variant
+	// Warmup and Measured are jacobi iteration counts.
+	Warmup   int
+	Measured int
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultKernelAblationOptions returns the calibrated K-1 configuration:
+// all three kernels at the paper's 30x30 problem size with 16 kB
+// write-back L1s (the T-1 sweet spot, where caches hold the working set
+// and the communication paths dominate), in both programming models,
+// across the Quick core range. examples/scenarios/kernel-ablation.json
+// mirrors these values; the golden test holds the two in lockstep.
+func DefaultKernelAblationOptions() KernelAblationOptions {
+	return KernelAblationOptions{
+		N:        30,
+		CacheKB:  16,
+		Rounds:   20,
+		Cores:    []int{2, 4, 6, 8, 10, 12},
+		Variants: []jacobi.Variant{jacobi.HybridFull, jacobi.PureSM},
+		Warmup:   1,
+		Measured: 1,
+	}
+}
+
+// KernelAblation sweeps kernels x variants x cores and returns one point
+// per combination, kernels outermost, in deterministic order. Each
+// kernel's share is one KernelSweep, the execution path shared with the
+// scenario runner.
+func KernelAblation(o KernelAblationOptions) ([]KernelPoint, error) {
+	kernels := o.Kernels
+	if len(kernels) == 0 {
+		kernels = AllKernels()
+	}
+	if len(o.Variants) == 0 {
+		o.Variants = []jacobi.Variant{jacobi.HybridFull, jacobi.PureSM}
+	}
+	var out []KernelPoint
+	for _, k := range kernels {
+		pts, err := KernelSweep(KernelOptions{
+			Kernel:      k,
+			N:           o.N,
+			Rounds:      o.Rounds,
+			Cores:       o.Cores,
+			CachesKB:    []int{o.CacheKB},
+			Variants:    o.Variants,
+			Warmup:      o.Warmup,
+			Measured:    o.Measured,
+			Parallelism: o.Parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kernel ablation: %w", err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// MessagingAdvantageByKernel reduces ablation points to the paper's
+// headline ratio per kernel: the largest pure-sm/hybrid-full cycle ratio
+// across matching configurations — how much the message path wins, at its
+// best, for each communication profile.
+func MessagingAdvantageByKernel(points []KernelPoint) map[Kernel]float64 {
+	type key struct {
+		k       Kernel
+		cores   int
+		cacheKB int
+		policy  cache.Policy
+	}
+	full := map[key]int64{}
+	for _, p := range points {
+		if p.Variant == jacobi.HybridFull {
+			full[key{p.Kernel, p.Compute, p.CacheKB, p.Policy}] = p.Cycles
+		}
+	}
+	best := map[Kernel]float64{}
+	for _, p := range points {
+		if p.Variant != jacobi.PureSM {
+			continue
+		}
+		f, ok := full[key{p.Kernel, p.Compute, p.CacheKB, p.Policy}]
+		if !ok || f == 0 {
+			continue
+		}
+		if r := float64(p.Cycles) / float64(f); r > best[p.Kernel] {
+			best[p.Kernel] = r
+		}
+	}
+	return best
+}
+
+// PeakSpeedupByKernel reduces ablation points to the best scaling each
+// kernel reached under the message-passing model: its highest Speedup
+// (relative to the smallest configuration of the same series).
+func PeakSpeedupByKernel(points []KernelPoint) map[Kernel]float64 {
+	best := map[Kernel]float64{}
+	for _, p := range points {
+		if p.Variant != jacobi.HybridFull {
+			continue
+		}
+		if _, ok := best[p.Kernel]; !ok || p.Speedup > best[p.Kernel] {
+			best[p.Kernel] = p.Speedup
+		}
+	}
+	return best
+}
+
+// KernelAblationTable renders the ablation as an aligned table, one row
+// per (kernel, variant, cores) with a per-kernel summary row of the best
+// message-over-shared-memory ratio and the peak message-path speedup.
+func KernelAblationTable(o KernelAblationOptions, points []KernelPoint) string {
+	var b strings.Builder
+	// N only means something when a kernel with a problem size is swept;
+	// a syncbench-only table (cmd/medea-experiments -fig barrier) omits it.
+	size := ""
+	for _, p := range points {
+		if p.Kernel != KernelSyncbench {
+			size = fmt.Sprintf("N=%d, ", o.N)
+			break
+		}
+	}
+	fmt.Fprintf(&b, "K-1 kernel ablation: %s%d kB write-back L1s, message passing vs shared memory\n",
+		size, o.CacheKB)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "kernel\tvariant\tcores\tcycles\tspeedup\tmpmmu-busy\tnoc-flits\t")
+	adv := MessagingAdvantageByKernel(points)
+	peak := PeakSpeedupByKernel(points)
+	var last Kernel = -1
+	// A sweep can lack one side of a reducer (e.g. -variants pure-sm has
+	// no message-passing rows); print n/a rather than a measured-looking 0x.
+	ratio := func(m map[Kernel]float64, k Kernel) string {
+		if v, ok := m[k]; ok {
+			return fmt.Sprintf("%.2fx", v)
+		}
+		return "n/a"
+	}
+	summary := func(k Kernel) {
+		fmt.Fprintf(w, "%v summary\t\t\t\tpeak %s\tsm/mp max %s\t\t\n", k, ratio(peak, k), ratio(adv, k))
+	}
+	for _, p := range points {
+		if p.Kernel != last && last >= 0 {
+			summary(last)
+		}
+		last = p.Kernel
+		fmt.Fprintf(w, "%v\t%v\t%d\t%d\t%.2f\t%d\t%d\t\n",
+			p.Kernel, p.Variant, p.Compute, p.Cycles, p.Speedup, p.MPMMUBusy, p.NoCFlits)
+	}
+	if last >= 0 {
+		summary(last)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/jacobi"
+)
+
+func TestParseKernelRoundTrip(t *testing.T) {
+	for _, k := range AllKernels() {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKernel(%q) = %v, %v", k.String(), got, err)
+		}
+		if got, err := ParseKernel("  " + strings.ToUpper(k.String()) + " "); err != nil || got != k {
+			t.Errorf("ParseKernel upper(%q) = %v, %v", k, got, err)
+		}
+	}
+	if got, err := ParseKernel("1"); err != nil || got != KernelMatmul {
+		t.Errorf("ParseKernel(1) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "fft", "99", "-1"} {
+		if _, err := ParseKernel(bad); err == nil {
+			t.Errorf("ParseKernel(%q) accepted", bad)
+		}
+	}
+}
+
+func TestKernelSupports(t *testing.T) {
+	for _, k := range AllKernels() {
+		for _, v := range jacobi.AllVariants() {
+			want := !(k == KernelSyncbench && v == jacobi.HybridSync)
+			if got := k.Supports(v); got != want {
+				t.Errorf("%v.Supports(%v) = %t, want %t", k, v, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelSweepValidation(t *testing.T) {
+	base := KernelOptions{Kernel: KernelJacobi, N: 16, Cores: []int{2}, CachesKB: []int{8}}
+	if _, err := KernelSweep(base); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*KernelOptions)
+	}{
+		{"no cores", func(o *KernelOptions) { o.Cores = nil }},
+		{"no caches", func(o *KernelOptions) { o.CachesKB = nil }},
+		{"no N", func(o *KernelOptions) { o.N = 0 }},
+		{"syncbench hybrid-sync", func(o *KernelOptions) {
+			o.Kernel = KernelSyncbench
+			o.N = 0
+			o.Variants = []jacobi.Variant{jacobi.HybridSync}
+		}},
+	}
+	for _, c := range cases {
+		o := base
+		c.mutate(&o)
+		if _, err := KernelSweep(o); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestKernelSweepMatchesSweepForJacobi pins the delegation contract: the
+// jacobi kernel sweep must be dse.Sweep bit-for-bit (same ordering, same
+// cycles, same speedup), because the scenario golden tests ride on it.
+func TestKernelSweepMatchesSweepForJacobi(t *testing.T) {
+	o := KernelOptions{
+		Kernel:   KernelJacobi,
+		N:        16,
+		Cores:    []int{2, 4},
+		CachesKB: []int{4, 8},
+		Policies: []cache.Policy{cache.WriteBack, cache.WriteThrough},
+		Variants: []jacobi.Variant{jacobi.HybridFull},
+	}
+	kpts, err := KernelSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Sweep(Options{
+		N: 16, Cores: o.Cores, CachesKB: o.CachesKB, Policies: o.Policies,
+		Variant: jacobi.HybridFull, Warmup: 1, Measured: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kpts) != len(pts) {
+		t.Fatalf("kernel sweep has %d points, Sweep %d", len(kpts), len(pts))
+	}
+	for i, kp := range kpts {
+		p := pts[i]
+		if kp.Compute != p.Compute || kp.CacheKB != p.CacheKB || kp.Policy != p.Policy {
+			t.Fatalf("point %d: axis order diverged: %+v vs %+v", i, kp, p)
+		}
+		if kp.Cycles != p.CyclesPerIter || kp.MissRate != p.MissRate ||
+			kp.AreaMM2 != p.AreaMM2 || kp.Speedup != p.Speedup {
+			t.Errorf("point %d: kernel sweep %+v diverges from Sweep %+v", i, kp, p)
+		}
+	}
+}
+
+// TestKernelAblationShapes asserts the K-1 reproduction targets on a
+// reduced grid: the message-passing model beats pure shared memory on
+// every kernel once past two cores, the gap widens with cores, and the
+// message barrier never occupies the memory node.
+func TestKernelAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the kernel ablation grid")
+	}
+	o := DefaultKernelAblationOptions()
+	o.Cores = []int{2, 6, 12}
+	points, err := KernelAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3*2*3 {
+		t.Fatalf("got %d points, want 18", len(points))
+	}
+
+	cycles := map[[3]int]int64{} // kernel, variant, cores
+	for _, p := range points {
+		cycles[[3]int{int(p.Kernel), int(p.Variant), p.Compute}] = p.Cycles
+		if p.Kernel == KernelSyncbench && p.Variant == jacobi.HybridFull && p.MPMMUBusy != 0 {
+			t.Errorf("message barrier at %d cores occupied the memory node for %d cycles",
+				p.Compute, p.MPMMUBusy)
+		}
+	}
+	for _, k := range AllKernels() {
+		for _, cores := range []int{6, 12} {
+			mp := cycles[[3]int{int(k), int(jacobi.HybridFull), cores}]
+			sm := cycles[[3]int{int(k), int(jacobi.PureSM), cores}]
+			if sm <= mp {
+				t.Errorf("%v at %d cores: pure-sm (%d) not slower than hybrid-full (%d)", k, cores, sm, mp)
+			}
+		}
+		ratioAt := func(cores int) float64 {
+			mp := cycles[[3]int{int(k), int(jacobi.HybridFull), cores}]
+			sm := cycles[[3]int{int(k), int(jacobi.PureSM), cores}]
+			return float64(sm) / float64(mp)
+		}
+		if ratioAt(12) <= ratioAt(2) {
+			t.Errorf("%v: sm/mp ratio did not widen with cores (%.2f at 2 -> %.2f at 12)",
+				k, ratioAt(2), ratioAt(12))
+		}
+	}
+
+	adv := MessagingAdvantageByKernel(points)
+	if adv[KernelSyncbench] <= adv[KernelMatmul] {
+		t.Errorf("syncbench advantage %.2f not above matmul %.2f (bare synchronization is where messages win most)",
+			adv[KernelSyncbench], adv[KernelMatmul])
+	}
+	peak := PeakSpeedupByKernel(points)
+	if peak[KernelJacobi] <= peak[KernelMatmul] {
+		t.Errorf("jacobi peak speedup %.2f not above matmul %.2f", peak[KernelJacobi], peak[KernelMatmul])
+	}
+
+	table := KernelAblationTable(o, points)
+	for _, want := range []string{"K-1", "jacobi", "matmul", "syncbench", "pure-sm", "summary"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("ablation table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestKernelSweepDeterministic: kernel runs take no seed, so the whole
+// sweep must be bit-identical across executions and parallelism levels.
+func TestKernelSweepDeterministic(t *testing.T) {
+	o := KernelOptions{
+		Kernel:   KernelMatmul,
+		N:        8,
+		Cores:    []int{2, 3},
+		CachesKB: []int{4},
+		Variants: []jacobi.Variant{jacobi.HybridFull, jacobi.PureSM},
+	}
+	a, err := KernelSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallelism = 1
+	b, err := KernelSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -16,9 +16,16 @@
 // the paper's "execution time for an iteration after cache warm-up".
 package jacobi
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
-// Variant selects the communication/synchronization style.
+// Variant selects the communication/synchronization style. It is the
+// paper's central shared-memory vs message-passing axis and is shared by
+// every kernel workload (jacobi, matmul, syncbench); ParseVariant resolves
+// it by name, mirroring noc.ParseRouter for the network axes.
 type Variant int
 
 const (
@@ -31,7 +38,48 @@ const (
 	// PureSM uses shared memory for everything, with a lock-based
 	// sense-reversing barrier at the MPMMU.
 	PureSM
+
+	// numVariants counts the defined variants (keep it last).
+	numVariants
 )
+
+// AllVariants returns every defined variant in declaration order.
+func AllVariants() []Variant {
+	out := make([]Variant, numVariants)
+	for i := range out {
+		out[i] = Variant(i)
+	}
+	return out
+}
+
+// VariantNames returns the canonical names of every variant, for flag
+// documentation and error messages.
+func VariantNames() []string {
+	names := make([]string, numVariants)
+	for i := range names {
+		names[i] = Variant(i).String()
+	}
+	return names
+}
+
+// ParseVariant resolves a variant from its canonical name (as printed by
+// Variant.String) or its numeric value. Matching is case-insensitive and
+// accepts "_" for "-", mirroring noc.ParseRouter.
+func ParseVariant(s string) (Variant, error) {
+	norm := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), "_", "-")
+	for v := Variant(0); v < numVariants; v++ {
+		if norm == v.String() {
+			return v, nil
+		}
+	}
+	if n, err := strconv.Atoi(norm); err == nil {
+		if n >= 0 && n < int(numVariants) {
+			return Variant(n), nil
+		}
+		return 0, fmt.Errorf("jacobi: variant index %d out of range [0, %d)", n, int(numVariants))
+	}
+	return 0, fmt.Errorf("jacobi: unknown variant %q (have: %s)", s, strings.Join(VariantNames(), ", "))
+}
 
 // String implements fmt.Stringer.
 func (v Variant) String() string {

@@ -2,12 +2,39 @@ package jacobi
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 )
+
+func TestParseVariantRoundTrip(t *testing.T) {
+	for _, v := range AllVariants() {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+		if got, err := ParseVariant("  " + strings.ToUpper(v.String()) + " "); err != nil || got != v {
+			t.Errorf("ParseVariant upper(%q) = %v, %v", v, got, err)
+		}
+	}
+	if got, err := ParseVariant("hybrid_sync"); err != nil || got != HybridSync {
+		t.Errorf("ParseVariant(hybrid_sync) = %v, %v", got, err)
+	}
+	if got, err := ParseVariant("2"); err != nil || got != PureSM {
+		t.Errorf("ParseVariant(2) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "mpi", "99", "-1"} {
+		if _, err := ParseVariant(bad); err == nil {
+			t.Errorf("ParseVariant(%q) accepted", bad)
+		}
+	}
+	if len(VariantNames()) != 3 {
+		t.Errorf("VariantNames = %v, want 3 variants", VariantNames())
+	}
+}
 
 func TestSpecValidate(t *testing.T) {
 	if err := (Spec{N: 16, Warmup: 1, Measured: 1}).Validate(); err != nil {

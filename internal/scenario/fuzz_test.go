@@ -24,6 +24,11 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"workload":"noc-synthetic","noc":{"width":4,"height":4,"patterns":["uniform","uniform"],"rates":[0.5]}}`))
 	f.Add([]byte(`{"workload":"jacobi","jacobi":{"n":30,"cores":[2],"cache_kb":[8]}}`))
 	f.Add([]byte(`{"workload":"jacobi","jacobi":{"n":30,"cores":[2],"cache_kb":[8]},"seeds":[1,2]}`))
+	f.Add([]byte(`{"workloads":["jacobi","matmul","syncbench"],"kernel":{"n":16,"cores":[2,4],"cache_kb":[8],"variants":["hybrid-full","pure-sm"],"rounds":5}}`))
+	f.Add([]byte(`{"workloads":["syncbench","noc-synthetic"],"kernel":{"cores":[2],"cache_kb":[8]}}`))
+	f.Add([]byte(`{"workload":"jacobi","workloads":["matmul"],"kernel":{"n":16,"cores":[2],"cache_kb":[8]}}`))
+	f.Add([]byte(`{"workload":"syncbench","kernel":{"cores":[2],"cache_kb":[8],"variants":["hybrid-sync"]}}`))
+	f.Add([]byte(`{"workload":"matmul","kernel":{"n":16,"variant":"pure-sm","variants":["hybrid-full"],"cores":[2],"cache_kb":[8]}}`))
 	f.Add([]byte(`{"workload":"noc-synthetic","noc":{"width":4,"height":4,"patterns":["uniform"],"rates":[2.5]}}`))
 	f.Add([]byte(`{"workload":"noc-synthetic","nos":{}}`))
 	f.Add([]byte(`{"workload":"noc-synthetic","noc":{"width":4,"height":4,"patterns":["uniform"],"rates":[0.5]}}{"trailing":1}`))

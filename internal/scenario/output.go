@@ -8,7 +8,10 @@ import (
 )
 
 // Render formats results in the named format (FormatTable, FormatCSV or
-// FormatJSON; "" means table).
+// FormatJSON; "" means table). Rendering dispatches through the workload
+// registry: each row is formatted by its kind's registered schema, and a
+// result set spanning several workloads (the "workloads" sweep axis)
+// renders as one block per workload.
 func Render(results []Result, format string) (string, error) {
 	switch format {
 	case "", FormatTable:
@@ -22,62 +25,303 @@ func Render(results []Result, format string) (string, error) {
 		format, FormatTable, FormatCSV, FormatJSON)
 }
 
-// Table renders results as an aligned text table, one row per point.
+// renderGroup is a maximal run of consecutive results of one workload
+// kind. Run emits results workload-outermost, so for scenario output one
+// group per workload comes back; hand-assembled interleavings still
+// render correctly, with repeated headers.
+type renderGroup struct {
+	impl Workload
+	rows []Result
+}
+
+func renderGroups(results []Result) []renderGroup {
+	var groups []renderGroup
+	for _, r := range results {
+		k := workloadOfRow(r)
+		if n := len(groups); n > 0 && groups[n-1].impl.Kind() == k {
+			groups[n-1].rows = append(groups[n-1].rows, r)
+			continue
+		}
+		groups = append(groups, renderGroup{impl: ForKind(k), rows: []Result{r}})
+	}
+	return groups
+}
+
+// workloadOfRow resolves a row's renderer; rows with an unknown workload
+// string (hand-built Results) fall back to the noc-synthetic schema,
+// which was the pre-registry behaviour.
+func workloadOfRow(r Result) WorkloadKind {
+	k, err := ParseWorkload(r.Workload)
+	if err != nil {
+		return WorkloadNoC
+	}
+	return k
+}
+
+// Table renders results as an aligned text table, one row per point, one
+// header block per workload.
 func Table(results []Result) string {
 	if len(results) == 0 {
 		return "(no points)\n"
 	}
 	var b strings.Builder
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
-	if results[0].Workload == WorkloadJacobi {
-		fmt.Fprintln(w, "cores\tcache\tpolicy\tcycles/iter\tmiss%\tarea(mm2)\tspeedup\t")
-		for _, r := range results {
-			fmt.Fprintf(w, "%d\t%dkB\t%s\t%d\t%.1f\t%.2f\t%.2f\t\n",
-				r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, 100*r.MissRate, r.AreaMM2, r.Speedup)
+	for i, g := range renderGroups(results) {
+		if i > 0 {
+			b.WriteByte('\n')
 		}
-	} else {
-		fmt.Fprintln(w, "topo\trouter\tpattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tpeak-buf\tdelivered\t")
-		for _, r := range results {
-			name := r.Pattern
-			if r.Bursty {
-				name = "bursty+" + name
-			}
-			fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%d\t\n",
-				r.Topology, r.Router, name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
-				r.DeflectionRate, r.PeakBuffer, r.Delivered)
-		}
+		w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+		g.impl.TableInto(w, g.rows)
+		w.Flush()
 	}
-	w.Flush()
 	return b.String()
 }
 
-// CSV renders results as CSV with a uniform header per workload.
+// CSV renders results as CSV with a uniform header per workload block.
 func CSV(results []Result) string {
 	var b strings.Builder
-	if len(results) > 0 && results[0].Workload == WorkloadJacobi {
-		// Same columns and formatting verbs as dse.PointsCSV, so a scenario
-		// that mirrors a figure sweep emits byte-identical numbers.
-		b.WriteString("compute,cache_kb,policy,cycles_per_iter,miss_rate,area_mm2,speedup\n")
-		for _, r := range results {
-			fmt.Fprintf(&b, "%d,%d,%v,%d,%.6f,%.3f,%.3f\n",
-				r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, r.MissRate, r.AreaMM2, r.Speedup)
-		}
+	if len(results) == 0 {
+		// Headers only, so empty sweeps still yield parseable output (the
+		// noc schema, matching the pre-registry behaviour).
+		nocWorkload{}.CSVInto(&b, nil)
 		return b.String()
 	}
+	for _, g := range renderGroups(results) {
+		g.impl.CSVInto(&b, g.rows)
+	}
+	return b.String()
+}
+
+// JSON renders results as an indented JSON array, one object per point
+// with the full field set of its workload.
+func JSON(results []Result) (string, error) {
+	rows := make([]any, len(results))
+	for i, r := range results {
+		rows[i] = ForKind(workloadOfRow(r)).JSONRow(r)
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("scenario: rendering json: %w", err)
+	}
+	return string(out) + "\n", nil
+}
+
+// Summary renders a one-line header describing the scenario and its sweep
+// size, for CLI output above the result block.
+func Summary(s *Scenario) string {
+	kinds, err := s.workloadKinds()
+	if err != nil {
+		return fmt.Sprintf("%s: invalid workload axis", s.Name)
+	}
+	var axes string
+	if kinds[0] == WorkloadNoC {
+		axes = fmt.Sprintf("%d topologies x %d routers x %d patterns x %d rates x %d seeds",
+			max(1, len(s.NoC.Topologies)), max(1, len(s.NoC.Routers)),
+			len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
+	} else {
+		c := s.kernelConfig()
+		axes = fmt.Sprintf("%d workloads x %d variants x %d cores x %d caches x %d policies",
+			len(kinds), max(1, len(c.Variants)), len(c.Cores), len(c.CacheKB), max(1, len(c.Policies)))
+	}
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	plural := "workload"
+	if len(kinds) > 1 {
+		plural = "workloads"
+	}
+	return fmt.Sprintf("%s: %s %s, %s = %d points",
+		s.Name, strings.Join(names, "+"), plural, axes, s.NumPoints())
+}
+
+// multiVariant reports whether the rows span more than one programming-
+// model variant — the trigger for the jacobi schema's extra column.
+func multiVariant(rows []Result) bool {
+	for _, r := range rows {
+		if r.Variant != rows[0].Variant {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- jacobi schema ----------------------------------------------------
+//
+// The single-variant schema is pinned: its CSV columns and verbs match
+// dse.PointsCSV exactly, so a scenario that mirrors a figure sweep emits
+// byte-identical numbers (the fig8-quick golden tests hold this). The
+// variants axis appends a variant column without disturbing the pinned
+// prefix.
+
+func (jacobiWorkload) TableInto(w *tabwriter.Writer, rows []Result) {
+	multi := multiVariant(rows)
+	head := "cores\tcache\tpolicy\tcycles/iter\tmiss%\tarea(mm2)\tspeedup\t"
+	if multi {
+		head += "variant\t"
+	}
+	fmt.Fprintln(w, head)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%dkB\t%s\t%d\t%.1f\t%.2f\t%.2f\t",
+			r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, 100*r.MissRate, r.AreaMM2, r.Speedup)
+		if multi {
+			fmt.Fprintf(w, "%s\t", r.Variant)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (jacobiWorkload) CSVInto(b *strings.Builder, rows []Result) {
+	multi := multiVariant(rows)
+	head := "compute,cache_kb,policy,cycles_per_iter,miss_rate,area_mm2,speedup"
+	if multi {
+		head += ",variant"
+	}
+	b.WriteString(head + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "%d,%d,%v,%d,%.6f,%.3f,%.3f",
+			r.Cores, r.CacheKB, r.Policy, r.CyclesPerIter, r.MissRate, r.AreaMM2, r.Speedup)
+		if multi {
+			fmt.Fprintf(b, ",%s", r.Variant)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// jacobiJSON is the jacobi projection of Result: every field always
+// emitted — including legitimate zeros omitempty would drop — and nothing
+// from other workloads leaking in. The noc, matmul and syncbench structs
+// below serve the same purpose for their kinds.
+type jacobiJSON struct {
+	Scenario      string  `json:"scenario"`
+	Workload      string  `json:"workload"`
+	Cores         int     `json:"cores"`
+	CacheKB       int     `json:"cache_kb"`
+	Policy        string  `json:"policy"`
+	Variant       string  `json:"variant"`
+	CyclesPerIter int64   `json:"cycles_per_iter"`
+	MissRate      float64 `json:"miss_rate"`
+	AreaMM2       float64 `json:"area_mm2"`
+	Speedup       float64 `json:"speedup"`
+}
+
+func (jacobiWorkload) JSONRow(r Result) any {
+	return jacobiJSON{
+		Scenario: r.Scenario, Workload: r.Workload,
+		Cores: r.Cores, CacheKB: r.CacheKB, Policy: r.Policy, Variant: r.Variant,
+		CyclesPerIter: r.CyclesPerIter, MissRate: r.MissRate,
+		AreaMM2: r.AreaMM2, Speedup: r.Speedup,
+	}
+}
+
+// ---- matmul schema ----------------------------------------------------
+
+func (matmulWorkload) TableInto(w *tabwriter.Writer, rows []Result) {
+	fmt.Fprintln(w, "variant\tcores\tcache\tpolicy\ttotal-cycles\txfer-cycles\tspeedup\tmpmmu-busy\tnoc-flits\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%dkB\t%s\t%d\t%d\t%.2f\t%d\t%d\t\n",
+			r.Variant, r.Cores, r.CacheKB, r.Policy,
+			r.TotalCycles, r.TransferCycles, r.Speedup, r.MPMMUBusy, r.NoCFlits)
+	}
+}
+
+func (matmulWorkload) CSVInto(b *strings.Builder, rows []Result) {
+	b.WriteString("variant,cores,cache_kb,policy,total_cycles,transfer_cycles,speedup,mpmmu_busy,noc_flits\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "%s,%d,%d,%s,%d,%d,%.3f,%d,%d\n",
+			r.Variant, r.Cores, r.CacheKB, r.Policy,
+			r.TotalCycles, r.TransferCycles, r.Speedup, r.MPMMUBusy, r.NoCFlits)
+	}
+}
+
+type matmulJSON struct {
+	Scenario       string  `json:"scenario"`
+	Workload       string  `json:"workload"`
+	Variant        string  `json:"variant"`
+	Cores          int     `json:"cores"`
+	CacheKB        int     `json:"cache_kb"`
+	Policy         string  `json:"policy"`
+	TotalCycles    int64   `json:"total_cycles"`
+	TransferCycles int64   `json:"transfer_cycles"`
+	Speedup        float64 `json:"speedup"`
+	MPMMUBusy      int64   `json:"mpmmu_busy"`
+	NoCFlits       int64   `json:"noc_flits"`
+}
+
+func (matmulWorkload) JSONRow(r Result) any {
+	return matmulJSON{
+		Scenario: r.Scenario, Workload: r.Workload, Variant: r.Variant,
+		Cores: r.Cores, CacheKB: r.CacheKB, Policy: r.Policy,
+		TotalCycles: r.TotalCycles, TransferCycles: r.TransferCycles,
+		Speedup: r.Speedup, MPMMUBusy: r.MPMMUBusy, NoCFlits: r.NoCFlits,
+	}
+}
+
+// ---- syncbench schema -------------------------------------------------
+
+func (syncbenchWorkload) TableInto(w *tabwriter.Writer, rows []Result) {
+	fmt.Fprintln(w, "variant\tcores\tcache\tpolicy\tcycles/round\tspeedup\tmpmmu-busy\tnoc-flits\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%dkB\t%s\t%d\t%.2f\t%d\t%d\t\n",
+			r.Variant, r.Cores, r.CacheKB, r.Policy,
+			r.CyclesPerRound, r.Speedup, r.MPMMUBusy, r.NoCFlits)
+	}
+}
+
+func (syncbenchWorkload) CSVInto(b *strings.Builder, rows []Result) {
+	b.WriteString("variant,cores,cache_kb,policy,cycles_per_round,speedup,mpmmu_busy,noc_flits\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "%s,%d,%d,%s,%d,%.3f,%d,%d\n",
+			r.Variant, r.Cores, r.CacheKB, r.Policy,
+			r.CyclesPerRound, r.Speedup, r.MPMMUBusy, r.NoCFlits)
+	}
+}
+
+type syncbenchJSON struct {
+	Scenario       string  `json:"scenario"`
+	Workload       string  `json:"workload"`
+	Variant        string  `json:"variant"`
+	Cores          int     `json:"cores"`
+	CacheKB        int     `json:"cache_kb"`
+	Policy         string  `json:"policy"`
+	CyclesPerRound int64   `json:"cycles_per_round"`
+	Speedup        float64 `json:"speedup"`
+	MPMMUBusy      int64   `json:"mpmmu_busy"`
+	NoCFlits       int64   `json:"noc_flits"`
+}
+
+func (syncbenchWorkload) JSONRow(r Result) any {
+	return syncbenchJSON{
+		Scenario: r.Scenario, Workload: r.Workload, Variant: r.Variant,
+		Cores: r.Cores, CacheKB: r.CacheKB, Policy: r.Policy,
+		CyclesPerRound: r.CyclesPerRound, Speedup: r.Speedup,
+		MPMMUBusy: r.MPMMUBusy, NoCFlits: r.NoCFlits,
+	}
+}
+
+// ---- noc-synthetic schema ---------------------------------------------
+
+func (nocWorkload) TableInto(w *tabwriter.Writer, rows []Result) {
+	fmt.Fprintln(w, "topo\trouter\tpattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tpeak-buf\tdelivered\t")
+	for _, r := range rows {
+		name := r.Pattern
+		if r.Bursty {
+			name = "bursty+" + name
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%d\t\n",
+			r.Topology, r.Router, name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
+			r.DeflectionRate, r.PeakBuffer, r.Delivered)
+	}
+}
+
+func (nocWorkload) CSVInto(b *strings.Builder, rows []Result) {
 	b.WriteString("pattern,rate,seed,topology,router,bursty,cycles,delivered,throughput,mean_latency,p99_latency,deflection_rate,peak_buffer\n")
-	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%g,%d,%s,%s,%t,%d,%d,%.6f,%.3f,%g,%.4f,%d\n",
+	for _, r := range rows {
+		fmt.Fprintf(b, "%s,%g,%d,%s,%s,%t,%d,%d,%.6f,%.3f,%g,%.4f,%d\n",
 			r.Pattern, r.Rate, r.Seed, r.Topology, r.Router, r.Bursty, r.Cycles, r.Delivered,
 			r.Throughput, r.MeanLatency, r.P99Latency, r.DeflectionRate, r.PeakBuffer)
 	}
-	return b.String()
 }
 
-// nocJSON and jacobiJSON are the per-workload JSON projections of Result:
-// every field of the row's workload is always emitted — including
-// legitimate zeros like seed 0 or a 0.0 deflection rate, which omitempty
-// on the shared Result struct would silently drop — and nothing from the
-// other workload leaks in.
 type nocJSON struct {
 	Scenario       string  `json:"scenario"`
 	Workload       string  `json:"workload"`
@@ -96,59 +340,12 @@ type nocJSON struct {
 	PeakBuffer     int     `json:"peak_buffer"`
 }
 
-type jacobiJSON struct {
-	Scenario      string  `json:"scenario"`
-	Workload      string  `json:"workload"`
-	Cores         int     `json:"cores"`
-	CacheKB       int     `json:"cache_kb"`
-	Policy        string  `json:"policy"`
-	Variant       string  `json:"variant"`
-	CyclesPerIter int64   `json:"cycles_per_iter"`
-	MissRate      float64 `json:"miss_rate"`
-	AreaMM2       float64 `json:"area_mm2"`
-	Speedup       float64 `json:"speedup"`
-}
-
-// JSON renders results as an indented JSON array, one object per point
-// with the full field set of its workload.
-func JSON(results []Result) (string, error) {
-	rows := make([]any, len(results))
-	for i, r := range results {
-		if r.Workload == WorkloadJacobi {
-			rows[i] = jacobiJSON{
-				Scenario: r.Scenario, Workload: r.Workload,
-				Cores: r.Cores, CacheKB: r.CacheKB, Policy: r.Policy, Variant: r.Variant,
-				CyclesPerIter: r.CyclesPerIter, MissRate: r.MissRate,
-				AreaMM2: r.AreaMM2, Speedup: r.Speedup,
-			}
-		} else {
-			rows[i] = nocJSON{
-				Scenario: r.Scenario, Workload: r.Workload,
-				Topology: r.Topology, Router: r.Router, Pattern: r.Pattern, Rate: r.Rate, Seed: r.Seed, Bursty: r.Bursty,
-				Cycles: r.Cycles, Delivered: r.Delivered, Throughput: r.Throughput,
-				MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
-				DeflectionRate: r.DeflectionRate, PeakBuffer: r.PeakBuffer,
-			}
-		}
+func (nocWorkload) JSONRow(r Result) any {
+	return nocJSON{
+		Scenario: r.Scenario, Workload: r.Workload,
+		Topology: r.Topology, Router: r.Router, Pattern: r.Pattern, Rate: r.Rate, Seed: r.Seed, Bursty: r.Bursty,
+		Cycles: r.Cycles, Delivered: r.Delivered, Throughput: r.Throughput,
+		MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
+		DeflectionRate: r.DeflectionRate, PeakBuffer: r.PeakBuffer,
 	}
-	out, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return "", fmt.Errorf("scenario: rendering json: %w", err)
-	}
-	return string(out) + "\n", nil
-}
-
-// Summary renders a one-line header describing the scenario and its sweep
-// size, for CLI output above the result block.
-func Summary(s *Scenario) string {
-	var axes string
-	if s.Workload == WorkloadJacobi {
-		axes = fmt.Sprintf("%d cores x %d caches x %d policies",
-			len(s.Jacobi.Cores), len(s.Jacobi.CacheKB), max(1, len(s.Jacobi.Policies)))
-	} else {
-		axes = fmt.Sprintf("%d topologies x %d routers x %d patterns x %d rates x %d seeds",
-			max(1, len(s.NoC.Topologies)), max(1, len(s.NoC.Routers)),
-			len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
-	}
-	return fmt.Sprintf("%s: %s workload, %s = %d points", s.Name, s.Workload, axes, s.NumPoints())
 }

@@ -10,8 +10,9 @@ import (
 )
 
 // Result is one evaluated sweep point. NoC-synthetic points fill the
-// pattern/rate/seed axes and the network metrics; Jacobi points fill the
-// cores/cache/policy axes and the design-space metrics.
+// pattern/rate/seed axes and the network metrics; kernel points (jacobi,
+// matmul, syncbench) fill the variant/cores/cache/policy axes and the
+// metrics of their kernel.
 type Result struct {
 	Scenario string `json:"scenario"`
 	Workload string `json:"workload"`
@@ -24,7 +25,7 @@ type Result struct {
 	Seed     int64   `json:"seed,omitempty"`
 	Bursty   bool    `json:"bursty,omitempty"`
 
-	// Jacobi axes.
+	// Kernel axes (shared by jacobi, matmul and syncbench).
 	Cores   int    `json:"cores,omitempty"`
 	CacheKB int    `json:"cache_kb,omitempty"`
 	Policy  string `json:"policy,omitempty"`
@@ -45,76 +46,39 @@ type Result struct {
 	CyclesPerIter int64   `json:"cycles_per_iter,omitempty"`
 	MissRate      float64 `json:"miss_rate,omitempty"`
 	AreaMM2       float64 `json:"area_mm2,omitempty"`
-	Speedup       float64 `json:"speedup,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"` // also filled for matmul/syncbench
+
+	// Matmul metrics: barrier-to-barrier total and the B-distribution
+	// phase alone.
+	TotalCycles    int64 `json:"total_cycles,omitempty"`
+	TransferCycles int64 `json:"transfer_cycles,omitempty"`
+	// Syncbench metric: mean cycles per synchronization episode.
+	CyclesPerRound int64 `json:"cycles_per_round,omitempty"`
+	// Shared kernel-side counters (matmul and syncbench rows): memory-
+	// node occupancy versus message-path traffic.
+	MPMMUBusy int64 `json:"mpmmu_busy,omitempty"`
+	NoCFlits  int64 `json:"noc_flits,omitempty"`
 }
 
 // Run executes the scenario's full sweep cross-product and returns one
 // Result per point, in deterministic axis order (independent of the
-// execution interleaving). The scenario must have passed Validate (Load
-// and Parse guarantee this).
+// execution interleaving): one block per workload, each produced by its
+// registered Workload implementation. The scenario must have passed
+// Validate (Load and Parse guarantee this).
 func Run(s *Scenario) ([]Result, error) {
-	switch s.Workload {
-	case WorkloadJacobi:
-		return runJacobi(s)
-	case WorkloadNoC:
-		return runNoC(s)
-	}
-	return nil, fmt.Errorf("scenario: unknown workload %q", s.Workload)
-}
-
-// runJacobi delegates to dse.Sweep so a scenario file and the hand-coded
-// figure sweeps produce identical numbers from one execution path (the
-// golden tests depend on this).
-func runJacobi(s *Scenario) ([]Result, error) {
-	c := s.Jacobi
-	variant, err := parseVariant(c.Variant)
+	kinds, err := s.workloadKinds()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	policies := make([]cache.Policy, 0, len(c.Policies))
-	for _, ps := range c.Policies {
-		p, err := parsePolicy(ps)
+	var all []Result
+	for _, k := range kinds {
+		results, err := ForKind(k).Run(s)
 		if err != nil {
 			return nil, err
 		}
-		policies = append(policies, p)
+		all = append(all, results...)
 	}
-	if len(policies) == 0 {
-		policies = []cache.Policy{cache.WriteBack}
-	}
-	warmup, measured := c.Warmup, c.Measured
-	if warmup == 0 && measured == 0 {
-		warmup, measured = 1, 1
-	}
-	points, err := dse.Sweep(dse.Options{
-		N:           c.N,
-		Cores:       c.Cores,
-		CachesKB:    c.CacheKB,
-		Policies:    policies,
-		Variant:     variant,
-		Warmup:      warmup,
-		Measured:    measured,
-		Parallelism: s.Parallelism,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
-	}
-	results := make([]Result, len(points))
-	for i, p := range points {
-		results[i] = Result{
-			Scenario:      s.Name,
-			Workload:      WorkloadJacobi,
-			Cores:         p.Compute,
-			CacheKB:       p.CacheKB,
-			Policy:        p.Policy.String(),
-			Variant:       variant.String(),
-			CyclesPerIter: p.CyclesPerIter,
-			MissRate:      p.MissRate,
-			AreaMM2:       p.AreaMM2,
-			Speedup:       p.Speedup,
-		}
-	}
-	return results, nil
+	return all, nil
 }
 
 // DSEPoints converts Jacobi results back to dse.Point rows, so scenario
@@ -123,7 +87,7 @@ func runJacobi(s *Scenario) ([]Result, error) {
 func DSEPoints(results []Result) []dse.Point {
 	points := make([]dse.Point, 0, len(results))
 	for _, r := range results {
-		if r.Workload != WorkloadJacobi {
+		if r.Workload != WorkloadJacobi.String() {
 			continue
 		}
 		pol := cache.WriteBack
@@ -226,7 +190,7 @@ func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern
 		Seed:    seed,
 	})
 	return Result{
-		Workload:       WorkloadNoC,
+		Workload:       WorkloadNoC.String(),
 		Topology:       topo.Kind().String(),
 		Router:         router.String(),
 		Pattern:        pattern.String(),

@@ -1,16 +1,36 @@
 // Package scenario provides a declarative JSON experiment format and a
-// parallel batch runner for the MEDEA simulator. A scenario file names a
-// workload (the Jacobi application or synthetic NoC traffic), the sweep
-// axes (traffic patterns, injection rates and seeds, or core counts,
-// cache sizes and write policies), and the measurement windows; Run
-// executes the cross-product of the axes on a worker pool and returns one
-// Result per point, renderable as a table, CSV or JSON.
+// parallel batch runner for the MEDEA simulator, built around four
+// pluggable sweep axes:
 //
-// The format exists so new experiments do not require new Go code: any
-// configuration the cmd/ binaries can reach by flags — and sweeps over
-// cross-products of them that the binaries cannot express — is one JSON
-// file away. See examples/scenarios/ for ready-to-run files and
-// cmd/medea-scenarios for the CLI driver.
+//   - workload — what each point simulates (WorkloadKind): the jacobi,
+//     matmul and syncbench compute kernels on the full MEDEA system, or
+//     synthetic traffic on the bare network (noc-synthetic);
+//   - variant — the paper's core comparison for kernel workloads:
+//     message passing (hybrid-full), shared-memory data with message
+//     synchronization (hybrid-sync), or pure shared memory (pure-sm);
+//   - topology and router — the network fabrics and switching algorithms
+//     for the noc-synthetic workload (noc.TopologyKind, noc.RouterKind),
+//     alongside the 9-entry traffic-pattern axis.
+//
+// A scenario file names its workloads and sweep axes (variants, cores,
+// cache sizes and write policies for kernels; topologies, routers,
+// patterns, rates and seeds for the bare network) plus the measurement
+// windows; Run executes the cross-product of the axes on a worker pool
+// and returns one Result per point, renderable as a table, CSV or JSON
+// through each workload's registered schema.
+//
+// Every axis is resolved by name through the same registry idiom
+// (ParseWorkload here; noc.ParsePattern, noc.ParseRouter and
+// noc.ParseTopology for the network axes), so the format exists without
+// new Go code: any configuration the cmd/ binaries can reach by flags —
+// and sweeps over cross-products of them that the binaries cannot
+// express — is one JSON file away. Kernel points execute through
+// dse.KernelSweep and noc points through noc.Measure, the paths shared
+// with the hand-coded experiments, which is what makes the golden tests
+// (fig8-quick, router-ablation, topology-ablation, kernel-ablation)
+// byte- and point-exact. See examples/scenarios/ for ready-to-run files,
+// REPRODUCING.md for the figure/table map, and cmd/medea-scenarios for
+// the CLI driver.
 package scenario
 
 import (
@@ -21,17 +41,9 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/dse"
 	"repro/internal/jacobi"
 	"repro/internal/noc"
-)
-
-// Workload names for Scenario.Workload.
-const (
-	// WorkloadJacobi runs the paper's Jacobi application on the full
-	// MEDEA system (cores + caches + MPMMU over the NoC).
-	WorkloadJacobi = "jacobi"
-	// WorkloadNoC runs synthetic traffic on the bare network.
-	WorkloadNoC = "noc-synthetic"
 )
 
 // Output format names for Scenario.Output and the CLI -format flag.
@@ -48,14 +60,24 @@ type Scenario struct {
 	Name string `json:"name,omitempty"`
 	// Description is free-form documentation.
 	Description string `json:"description,omitempty"`
-	// Workload selects what each point simulates: "jacobi" or
-	// "noc-synthetic".
-	Workload string `json:"workload"`
+	// Workload selects what each point simulates (see WorkloadNames):
+	// "jacobi", "matmul", "syncbench" or "noc-synthetic". Mutually
+	// exclusive with Workloads.
+	Workload string `json:"workload,omitempty"`
+	// Workloads sweeps the workload axis itself: a list of kernel
+	// workloads (jacobi, matmul, syncbench) that all run the same kernel
+	// sweep, one block per workload. The bare-network noc-synthetic
+	// workload has disjoint axes and cannot be mixed in.
+	Workloads []string `json:"workloads,omitempty"`
 
 	// NoC configures the noc-synthetic workload (required for it).
 	NoC *NoCConfig `json:"noc,omitempty"`
-	// Jacobi configures the jacobi workload (required for it).
-	Jacobi *JacobiConfig `json:"jacobi,omitempty"`
+	// Kernel configures the kernel workloads (required for them).
+	Kernel *KernelConfig `json:"kernel,omitempty"`
+	// Jacobi is the pre-workload-axis alias for Kernel, kept so existing
+	// jacobi scenarios load unchanged; it requires jacobi among the
+	// workloads. Set one of Kernel or Jacobi, not both.
+	Jacobi *KernelConfig `json:"jacobi,omitempty"`
 
 	// Seeds lists explicit RNG seeds; each seed is one replication of
 	// every (pattern, rate) point. Mutually exclusive with Replications.
@@ -113,12 +135,22 @@ type BurstConfig struct {
 	MeanOff float64 `json:"mean_off"`
 }
 
-// JacobiConfig describes a design-space sweep of the Jacobi workload.
-type JacobiConfig struct {
-	// N is the grid edge (the paper uses 16, 30 and 60).
+// KernelConfig describes a design-space sweep of the kernel workloads
+// (jacobi, matmul, syncbench) on the full MEDEA system. The axes are
+// shared: one section drives every kernel listed in "workloads".
+type KernelConfig struct {
+	// N is the problem size: the grid edge for jacobi (the paper uses 16,
+	// 30 and 60), the matrix edge for matmul (2..64). A syncbench-only
+	// scenario has no problem size.
 	N int `json:"n"`
-	// Variant is "hybrid-full" (default), "hybrid-sync" or "pure-sm".
+	// Variant selects one programming model: "hybrid-full" (default),
+	// "hybrid-sync" or "pure-sm". Mutually exclusive with Variants.
 	Variant string `json:"variant,omitempty"`
+	// Variants sweeps the programming-model axis (the paper's core
+	// message-passing vs shared-memory comparison). Syncbench measures
+	// the barrier itself, so it supports hybrid-full (message barrier)
+	// and pure-sm (lock barrier) but not hybrid-sync.
+	Variants []string `json:"variants,omitempty"`
 	// Cores lists compute-core counts; one sweep axis.
 	Cores []int `json:"cores"`
 	// CacheKB lists L1 sizes in kB; one sweep axis.
@@ -126,7 +158,11 @@ type JacobiConfig struct {
 	// Policies lists write policies ("write-back"/"wb",
 	// "write-through"/"wt"); one sweep axis. Defaults to write-back.
 	Policies []string `json:"policies,omitempty"`
-	// Warmup and Measured are Jacobi iteration counts (default 1 each).
+	// Rounds is the number of synchronization episodes syncbench averages
+	// over (default 20); only meaningful when syncbench is swept.
+	Rounds int `json:"rounds,omitempty"`
+	// Warmup and Measured are Jacobi iteration counts (default 1 each);
+	// only meaningful when jacobi is swept.
 	Warmup   int `json:"warmup,omitempty"`
 	Measured int `json:"measured,omitempty"`
 }
@@ -166,16 +202,71 @@ func Parse(data []byte) (*Scenario, error) {
 	return &s, nil
 }
 
+// workloadKinds resolves the workload axis: the single Workload, or the
+// Workloads list (kernel workloads only, no duplicates).
+func (s *Scenario) workloadKinds() ([]WorkloadKind, error) {
+	if s.Workload != "" && len(s.Workloads) > 0 {
+		return nil, fmt.Errorf(`set either "workload" or "workloads", not both`)
+	}
+	if s.Workload != "" {
+		k, err := ParseWorkload(s.Workload)
+		if err != nil {
+			return nil, err
+		}
+		return []WorkloadKind{k}, nil
+	}
+	if len(s.Workloads) == 0 {
+		return nil, fmt.Errorf(`missing "workload": set one of %s (or a "workloads" list of kernel workloads)`,
+			strings.Join(WorkloadNames(), ", "))
+	}
+	seen := map[WorkloadKind]bool{}
+	kinds := make([]WorkloadKind, 0, len(s.Workloads))
+	for _, name := range s.Workloads {
+		k, err := ParseWorkload(name)
+		if err != nil {
+			return nil, fmt.Errorf(`"workloads": %w`, err)
+		}
+		if !k.IsKernel() {
+			return nil, fmt.Errorf(`"workloads" sweeps the kernel workloads (%s); run %v through "workload"`,
+				strings.Join(kernelWorkloadNames(), ", "), k)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf(`"workloads": %v listed twice`, k)
+		}
+		seen[k] = true
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+// kernelWorkloadNames lists the kernel subset of WorkloadNames.
+func kernelWorkloadNames() []string {
+	var names []string
+	for _, k := range AllWorkloads() {
+		if k.IsKernel() {
+			names = append(names, k.String())
+		}
+	}
+	return names
+}
+
+// kernelConfig returns the scenario's kernel section (the canonical
+// Kernel field or its Jacobi alias); nil when neither is set. Validate
+// rejects setting both.
+func (s *Scenario) kernelConfig() *KernelConfig {
+	if s.Kernel != nil {
+		return s.Kernel
+	}
+	return s.Jacobi
+}
+
 // Validate checks the scenario for consistency and fills no defaults (the
 // runner applies defaults at execution time, so a validated scenario
 // round-trips through JSON unchanged).
 func (s *Scenario) Validate() error {
-	switch s.Workload {
-	case WorkloadJacobi, WorkloadNoC:
-	case "":
-		return fmt.Errorf(`missing "workload": set %q or %q`, WorkloadJacobi, WorkloadNoC)
-	default:
-		return fmt.Errorf("unknown workload %q (have: %q, %q)", s.Workload, WorkloadJacobi, WorkloadNoC)
+	kinds, err := s.workloadKinds()
+	if err != nil {
+		return err
 	}
 	switch s.Output {
 	case "", FormatTable, FormatCSV, FormatJSON:
@@ -193,27 +284,46 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("parallelism must be >= 0, got %d", s.Parallelism)
 	}
 
-	if s.Workload == WorkloadNoC {
-		if s.Jacobi != nil {
-			return fmt.Errorf(`the "jacobi" section has no effect on workload %q; remove it`, WorkloadNoC)
+	if kinds[0] == WorkloadNoC {
+		if s.kernelConfig() != nil {
+			return fmt.Errorf(`the "kernel"/"jacobi" section has no effect on workload %v; remove it`, WorkloadNoC)
 		}
 		if s.NoC == nil {
-			return fmt.Errorf(`workload %q needs a "noc" section`, WorkloadNoC)
+			return fmt.Errorf(`workload %v needs a "noc" section`, WorkloadNoC)
 		}
 		return s.NoC.validate()
 	}
 
-	// Jacobi.
+	// Kernel workloads.
 	if s.NoC != nil {
-		return fmt.Errorf(`the "noc" section has no effect on workload %q; remove it`, WorkloadJacobi)
+		return fmt.Errorf(`the "noc" section has no effect on kernel workloads; remove it`)
 	}
-	if s.Jacobi == nil {
-		return fmt.Errorf(`workload %q needs a "jacobi" section`, WorkloadJacobi)
+	if s.Kernel != nil && s.Jacobi != nil {
+		return fmt.Errorf(`set either "kernel" or its "jacobi" alias, not both`)
+	}
+	if s.Jacobi != nil && !hasKind(kinds, WorkloadJacobi) {
+		return fmt.Errorf(`the "jacobi" section is the kernel section's legacy alias; sweeps without the jacobi workload use "kernel"`)
+	}
+	cfg := s.kernelConfig()
+	if cfg == nil {
+		if kinds[0] == WorkloadJacobi && len(kinds) == 1 {
+			return fmt.Errorf(`workload %v needs a "jacobi" section (canonical name: "kernel")`, WorkloadJacobi)
+		}
+		return fmt.Errorf(`every kernel workload needs a "kernel" section`)
 	}
 	if len(s.Seeds) > 0 || s.Replications > 1 || s.BaseSeed != 0 {
-		return fmt.Errorf("the jacobi workload is fully deterministic: seeds/replications/base_seed have no effect; remove them")
+		return fmt.Errorf("kernel workloads are fully deterministic: seeds/replications/base_seed have no effect; remove them")
 	}
-	return s.Jacobi.validate()
+	return cfg.validate(kinds)
+}
+
+func hasKind(kinds []WorkloadKind, k WorkloadKind) bool {
+	for _, kk := range kinds {
+		if kk == k {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *NoCConfig) validate() error {
@@ -303,38 +413,126 @@ func (c *NoCConfig) validate() error {
 	return nil
 }
 
-func (c *JacobiConfig) validate() error {
-	if c.N < 3 {
-		return fmt.Errorf(`"jacobi.n" must be >= 3 (the paper uses 16, 30 and 60), got %d`, c.N)
+func (c *KernelConfig) validate(kinds []WorkloadKind) error {
+	hasJacobi := hasKind(kinds, WorkloadJacobi)
+	hasMatmul := hasKind(kinds, WorkloadMatmul)
+	hasSync := hasKind(kinds, WorkloadSyncbench)
+
+	if hasJacobi && c.N < 3 {
+		return fmt.Errorf(`"kernel.n" must be >= 3 for jacobi (the paper uses 16, 30 and 60), got %d`, c.N)
 	}
-	if _, err := parseVariant(c.Variant); err != nil {
-		return fmt.Errorf(`"jacobi.variant": %w`, err)
+	if hasMatmul && (c.N < 2 || c.N > 64) {
+		return fmt.Errorf(`"kernel.n" must be in 2..64 for matmul, got %d`, c.N)
+	}
+	if !hasJacobi && !hasMatmul && c.N != 0 {
+		return fmt.Errorf(`"kernel.n" has no effect on the syncbench workload; remove it`)
+	}
+	variants, err := c.variantList()
+	if err != nil {
+		return err
+	}
+	if hasSync {
+		for _, v := range variants {
+			if v == jacobi.HybridSync {
+				return fmt.Errorf(`"kernel.variants": the syncbench workload has no %v variant (it measures the barrier itself; use %v or %v)`,
+					jacobi.HybridSync, jacobi.HybridFull, jacobi.PureSM)
+			}
+		}
 	}
 	if len(c.Cores) == 0 {
-		return fmt.Errorf(`"jacobi.cores" must list at least one compute-core count`)
+		return fmt.Errorf(`"kernel.cores" must list at least one compute-core count`)
 	}
 	for _, n := range c.Cores {
 		if n < 2 || n > 15 {
-			return fmt.Errorf(`"jacobi.cores": %d outside the architecture's 2..15 range`, n)
+			return fmt.Errorf(`"kernel.cores": %d outside the architecture's 2..15 range`, n)
 		}
 	}
 	if len(c.CacheKB) == 0 {
-		return fmt.Errorf(`"jacobi.cache_kb" must list at least one L1 size in kB`)
+		return fmt.Errorf(`"kernel.cache_kb" must list at least one L1 size in kB`)
 	}
 	for _, kb := range c.CacheKB {
 		if kb <= 0 {
-			return fmt.Errorf(`"jacobi.cache_kb": %d must be positive`, kb)
+			return fmt.Errorf(`"kernel.cache_kb": %d must be positive`, kb)
 		}
 	}
 	for _, p := range c.Policies {
 		if _, err := parsePolicy(p); err != nil {
-			return fmt.Errorf(`"jacobi.policies": %w`, err)
+			return fmt.Errorf(`"kernel.policies": %w`, err)
 		}
 	}
+	if c.Rounds < 0 {
+		return fmt.Errorf(`"kernel.rounds" must be >= 0, got %d`, c.Rounds)
+	}
+	if c.Rounds > 0 && !hasSync {
+		return fmt.Errorf(`"kernel.rounds" only affects the syncbench workload; remove it`)
+	}
 	if c.Warmup < 0 || c.Measured < 0 {
-		return fmt.Errorf(`"jacobi.warmup"/"jacobi.measured" must be >= 0`)
+		return fmt.Errorf(`"kernel.warmup"/"kernel.measured" must be >= 0`)
+	}
+	if (c.Warmup > 0 || c.Measured > 0) && !hasJacobi {
+		return fmt.Errorf(`"kernel.warmup"/"kernel.measured" only affect the jacobi workload; remove them`)
 	}
 	return nil
+}
+
+// variantList resolves the variant axis: the Variants list, or the single
+// Variant (default hybrid-full).
+func (c *KernelConfig) variantList() ([]jacobi.Variant, error) {
+	if len(c.Variants) > 0 {
+		if c.Variant != "" {
+			return nil, fmt.Errorf(`set either "kernel.variant" or "kernel.variants", not both`)
+		}
+		seen := map[jacobi.Variant]bool{}
+		out := make([]jacobi.Variant, 0, len(c.Variants))
+		for _, name := range c.Variants {
+			v, err := parseVariant(name)
+			if err != nil {
+				return nil, fmt.Errorf(`"kernel.variants": %w`, err)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf(`"kernel.variants": %v listed twice`, v)
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	v, err := parseVariant(c.Variant)
+	if err != nil {
+		return nil, fmt.Errorf(`"kernel.variant": %w`, err)
+	}
+	return []jacobi.Variant{v}, nil
+}
+
+// kernelSweepOptions maps the scenario's kernel section onto the shared
+// dse.KernelSweep options for one kernel. The scenario must have passed
+// Validate, so the axis parses cannot fail here.
+func (s *Scenario) kernelSweepOptions(k dse.Kernel) (dse.KernelOptions, error) {
+	c := s.kernelConfig()
+	variants, err := c.variantList()
+	if err != nil {
+		return dse.KernelOptions{}, err
+	}
+	policies := make([]cache.Policy, 0, len(c.Policies))
+	for _, ps := range c.Policies {
+		p, err := parsePolicy(ps)
+		if err != nil {
+			return dse.KernelOptions{}, err
+		}
+		policies = append(policies, p)
+	}
+	return dse.KernelOptions{
+		Kernel:      k,
+		N:           c.N,
+		Rounds:      c.Rounds,
+		Cores:       c.Cores,
+		CachesKB:    c.CacheKB,
+		Policies:    policies,
+		Variants:    variants,
+		Warmup:      c.Warmup,
+		Measured:    c.Measured,
+		Parallelism: s.Parallelism,
+	}, nil
 }
 
 // seedList resolves the seed axis: explicit Seeds, or Replications seeds
@@ -360,15 +558,24 @@ func (s *Scenario) seedList() []int64 {
 
 // NumPoints returns the size of the sweep cross-product.
 func (s *Scenario) NumPoints() int {
-	if s.Workload == WorkloadJacobi {
-		pols := len(s.Jacobi.Policies)
-		if pols == 0 {
-			pols = 1
-		}
-		return len(s.Jacobi.Cores) * len(s.Jacobi.CacheKB) * pols
+	kinds, err := s.workloadKinds()
+	if err != nil {
+		return 0
 	}
-	return len(s.NoC.topologyList()) * len(s.NoC.routerList()) *
-		len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
+	if kinds[0] == WorkloadNoC {
+		return len(s.NoC.topologyList()) * len(s.NoC.routerList()) *
+			len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
+	}
+	c := s.kernelConfig()
+	pols := len(c.Policies)
+	if pols == 0 {
+		pols = 1
+	}
+	variants := len(c.Variants)
+	if variants == 0 {
+		variants = 1
+	}
+	return len(kinds) * variants * pols * len(c.CacheKB) * len(c.Cores)
 }
 
 // routerList resolves the router axis: the listed routers, or the paper's
@@ -407,16 +614,13 @@ func (c *NoCConfig) topologyList() []noc.TopologyKind {
 	return kinds
 }
 
+// parseVariant resolves a programming-model variant, defaulting the empty
+// string to the paper's headline hybrid-full model.
 func parseVariant(s string) (jacobi.Variant, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "", "hybrid-full":
+	if strings.TrimSpace(s) == "" {
 		return jacobi.HybridFull, nil
-	case "hybrid-sync":
-		return jacobi.HybridSync, nil
-	case "pure-sm":
-		return jacobi.PureSM, nil
 	}
-	return 0, fmt.Errorf("unknown variant %q (have: hybrid-full, hybrid-sync, pure-sm)", s)
+	return jacobi.ParseVariant(s)
 }
 
 func parsePolicy(s string) (cache.Policy, error) {

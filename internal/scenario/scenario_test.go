@@ -34,7 +34,7 @@ const validNoC = `{
 
 func TestParseValid(t *testing.T) {
 	s := mustParse(t, validNoC)
-	if s.Workload != WorkloadNoC || s.NoC.Width != 4 {
+	if s.Workload != WorkloadNoC.String() || s.NoC.Width != 4 {
 		t.Errorf("bad decode: %+v", s)
 	}
 	if s.NumPoints() != 1 {
@@ -46,9 +46,10 @@ func TestParseRejects(t *testing.T) {
 	cases := []struct{ name, src, wantSub string }{
 		{"unknown field", `{"workload": "noc-synthetic", "nocc": {}}`, "nocc"},
 		{"missing workload", `{"noc": {}}`, `missing "workload"`},
-		{"bad workload", `{"workload": "matmul"}`, "unknown workload"},
+		{"bad workload", `{"workload": "fft"}`, "unknown workload"},
 		{"noc without section", `{"workload": "noc-synthetic"}`, `needs a "noc" section`},
 		{"jacobi without section", `{"workload": "jacobi"}`, `needs a "jacobi" section`},
+		{"matmul without section", `{"workload": "matmul"}`, `needs a "kernel" section`},
 		{"wrong section", `{"workload": "jacobi",
 			"jacobi": {"n": 30, "cores": [2], "cache_kb": [16]},
 			"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.1]}}`,
@@ -90,6 +91,49 @@ func TestParseRejects(t *testing.T) {
 		{"bad output", `{"workload": "noc-synthetic", "output": "xml",
 			"noc": {"width": 4, "height": 4, "patterns": ["uniform"], "rates": [0.1]}}`,
 			"output format"},
+		{"workload and workloads", `{"workload": "jacobi", "workloads": ["matmul"],
+			"kernel": {"n": 16, "cores": [2], "cache_kb": [8]}}`,
+			"not both"},
+		{"noc in workloads", `{"workloads": ["jacobi", "noc-synthetic"],
+			"kernel": {"n": 16, "cores": [2], "cache_kb": [8]}}`,
+			"kernel workloads"},
+		{"duplicate workload", `{"workloads": ["matmul", "matmul"],
+			"kernel": {"n": 16, "cores": [2], "cache_kb": [8]}}`,
+			"twice"},
+		{"kernel and jacobi sections", `{"workload": "jacobi",
+			"kernel": {"n": 16, "cores": [2], "cache_kb": [8]},
+			"jacobi": {"n": 16, "cores": [2], "cache_kb": [8]}}`,
+			"not both"},
+		{"jacobi alias without jacobi", `{"workload": "matmul",
+			"jacobi": {"n": 16, "cores": [2], "cache_kb": [8]}}`,
+			"alias"},
+		{"variant and variants", `{"workload": "jacobi",
+			"jacobi": {"n": 16, "variant": "pure-sm", "variants": ["hybrid-full"], "cores": [2], "cache_kb": [8]}}`,
+			"not both"},
+		{"duplicate variant", `{"workload": "jacobi",
+			"jacobi": {"n": 16, "variants": ["pure-sm", "pure-sm"], "cores": [2], "cache_kb": [8]}}`,
+			"twice"},
+		{"bad variant in variants", `{"workload": "jacobi",
+			"jacobi": {"n": 16, "variants": ["mpi"], "cores": [2], "cache_kb": [8]}}`,
+			"unknown variant"},
+		{"syncbench hybrid-sync", `{"workloads": ["syncbench"],
+			"kernel": {"variants": ["hybrid-sync"], "cores": [2], "cache_kb": [8]}}`,
+			"no hybrid-sync variant"},
+		{"matmul n out of range", `{"workload": "matmul",
+			"kernel": {"n": 80, "cores": [2], "cache_kb": [8]}}`,
+			"2..64"},
+		{"n for syncbench only", `{"workload": "syncbench",
+			"kernel": {"n": 16, "cores": [2], "cache_kb": [8]}}`,
+			"no effect"},
+		{"rounds without syncbench", `{"workload": "matmul",
+			"kernel": {"n": 16, "rounds": 5, "cores": [2], "cache_kb": [8]}}`,
+			"syncbench"},
+		{"warmup without jacobi", `{"workload": "matmul",
+			"kernel": {"n": 16, "warmup": 1, "cores": [2], "cache_kb": [8]}}`,
+			"jacobi"},
+		{"matmul with seeds", `{"workload": "matmul", "seeds": [1],
+			"kernel": {"n": 16, "cores": [2], "cache_kb": [8]}}`,
+			"deterministic"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) { parseErr(t, c.src, c.wantSub) })

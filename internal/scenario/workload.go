@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dse"
+)
+
+// WorkloadKind selects what a scenario point simulates. The workload is
+// the fourth pluggable sweep axis, next to the network's topology, router
+// and pattern axes: every kind is resolved by name through ParseWorkload
+// (mirroring noc.ParseRouter/ParseTopology), executes through one
+// registry-dispatched path, and renders through its own schema. The set
+// of implementations is closed inside this package (like noc.Router);
+// adding a kind means adding a Workload implementation and a constant
+// here, and every listing flag, validation message and fuzz corpus picks
+// it up through the registry.
+type WorkloadKind int
+
+// The four workload implementations. The first three are compute kernels
+// on the full MEDEA system (cores + caches + MPMMU over the NoC), sharing
+// the kernel sweep axes (variants x policies x caches x cores) and the
+// dse.KernelSweep execution path; noc-synthetic drives the bare network.
+const (
+	// WorkloadJacobi runs the paper's Jacobi application: per-iteration
+	// halo exchange, the latency-bound communication profile.
+	WorkloadJacobi WorkloadKind = iota
+	// WorkloadMatmul runs the future-work matrix multiply: one bulk
+	// broadcast, the bandwidth-bound communication profile.
+	WorkloadMatmul
+	// WorkloadSyncbench runs bare synchronization episodes: barriers with
+	// no compute around them.
+	WorkloadSyncbench
+	// WorkloadNoC runs synthetic traffic on the bare network.
+	WorkloadNoC
+
+	// numWorkloads counts the defined workload kinds (keep it last).
+	numWorkloads
+)
+
+// String implements fmt.Stringer; the names are the scenario JSON and CLI
+// vocabulary.
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadJacobi:
+		return "jacobi"
+	case WorkloadMatmul:
+		return "matmul"
+	case WorkloadSyncbench:
+		return "syncbench"
+	case WorkloadNoC:
+		return "noc-synthetic"
+	}
+	return fmt.Sprintf("workload(%d)", int(k))
+}
+
+// IsKernel reports whether the kind is a compute kernel on the full MEDEA
+// system (sharing the kernel sweep axes), as opposed to synthetic traffic
+// on the bare network. Only kernel kinds may appear in the "workloads"
+// sweep axis.
+func (k WorkloadKind) IsKernel() bool { return k != WorkloadNoC }
+
+// AllWorkloads returns every defined workload kind in declaration order.
+func AllWorkloads() []WorkloadKind {
+	out := make([]WorkloadKind, numWorkloads)
+	for i := range out {
+		out[i] = WorkloadKind(i)
+	}
+	return out
+}
+
+// WorkloadNames returns the canonical names of every workload kind, for
+// flag documentation and error messages.
+func WorkloadNames() []string {
+	names := make([]string, numWorkloads)
+	for i := range names {
+		names[i] = WorkloadKind(i).String()
+	}
+	return names
+}
+
+// ParseWorkload resolves a workload kind from its canonical name (as
+// printed by WorkloadKind.String) or its numeric value. Matching is
+// case-insensitive and accepts "_" for "-", mirroring noc.ParseRouter.
+func ParseWorkload(s string) (WorkloadKind, error) {
+	norm := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), "_", "-")
+	for k := WorkloadKind(0); k < numWorkloads; k++ {
+		if norm == k.String() {
+			return k, nil
+		}
+	}
+	if n, err := strconv.Atoi(norm); err == nil {
+		if n >= 0 && n < int(numWorkloads) {
+			return WorkloadKind(n), nil
+		}
+		return 0, fmt.Errorf("scenario: workload index %d out of range [0, %d)", n, int(numWorkloads))
+	}
+	return 0, fmt.Errorf("scenario: unknown workload %q (have: %s)", s, strings.Join(WorkloadNames(), ", "))
+}
+
+// Workload is one pluggable workload implementation: it executes its
+// kind's share of a scenario sweep and renders its result rows. The
+// renderer methods are block-level (they see every row of their kind at
+// once) so a schema can adapt to the axes actually swept — the jacobi
+// implementation keeps its figure-golden legacy schema for single-variant
+// sweeps and only then adds a variant column. Implementations live behind
+// ForKind; the set is closed inside this package.
+type Workload interface {
+	// Kind returns the implemented workload kind.
+	Kind() WorkloadKind
+	// Run executes this kind's full sweep cross-product for the (already
+	// validated) scenario, in deterministic axis order.
+	Run(s *Scenario) ([]Result, error)
+	// TableInto writes an aligned header + one row per result into w; all
+	// rows are of this kind.
+	TableInto(w *tabwriter.Writer, rows []Result)
+	// CSVInto writes a CSV header + one line per result into b.
+	CSVInto(b *strings.Builder, rows []Result)
+	// JSONRow returns the row's full-field JSON projection (every field
+	// of the kind always emitted, nothing from other kinds leaking in).
+	JSONRow(r Result) any
+}
+
+// workloadImpls is the registry; ForKind dispatches through it.
+var workloadImpls = func() [numWorkloads]Workload {
+	var impls [numWorkloads]Workload
+	impls[WorkloadJacobi] = jacobiWorkload{kernelWorkload{WorkloadJacobi, dse.KernelJacobi}}
+	impls[WorkloadMatmul] = matmulWorkload{kernelWorkload{WorkloadMatmul, dse.KernelMatmul}}
+	impls[WorkloadSyncbench] = syncbenchWorkload{kernelWorkload{WorkloadSyncbench, dse.KernelSyncbench}}
+	impls[WorkloadNoC] = nocWorkload{}
+	return impls
+}()
+
+// ForKind returns the singleton implementation of the kind.
+func ForKind(k WorkloadKind) Workload {
+	if k < 0 || k >= numWorkloads {
+		panic(fmt.Sprintf("scenario: no implementation for workload kind %d", int(k)))
+	}
+	return workloadImpls[k]
+}
+
+// kernelWorkload is the shared execution strategy of the three compute
+// kernels: resolve the scenario's kernel section into dse.KernelOptions
+// and delegate to dse.KernelSweep, the execution path shared with
+// dse.KernelAblation and cmd/medea-experiments (the golden tests depend
+// on this).
+type kernelWorkload struct {
+	kind   WorkloadKind
+	kernel dse.Kernel
+}
+
+func (kw kernelWorkload) Kind() WorkloadKind { return kw.kind }
+
+func (kw kernelWorkload) Run(s *Scenario) ([]Result, error) {
+	o, err := s.kernelSweepOptions(kw.kernel)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := dse.KernelSweep(o)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	results := make([]Result, len(pts))
+	for i, p := range pts {
+		r := Result{
+			Scenario: s.Name,
+			Workload: kw.kind.String(),
+			Variant:  p.Variant.String(),
+			Cores:    p.Compute,
+			CacheKB:  p.CacheKB,
+			Policy:   p.Policy.String(),
+			Speedup:  p.Speedup,
+		}
+		switch kw.kind {
+		case WorkloadJacobi:
+			r.CyclesPerIter = p.Cycles
+			r.MissRate = p.MissRate
+			r.AreaMM2 = p.AreaMM2
+		case WorkloadMatmul:
+			r.TotalCycles = p.Cycles
+			r.TransferCycles = p.TransferCycles
+			r.MPMMUBusy = p.MPMMUBusy
+			r.NoCFlits = p.NoCFlits
+		case WorkloadSyncbench:
+			r.CyclesPerRound = p.Cycles
+			r.MPMMUBusy = p.MPMMUBusy
+			r.NoCFlits = p.NoCFlits
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// The three kernel kinds share kernelWorkload's Kind/Run and differ only
+// in their render schemas (defined in output.go).
+type jacobiWorkload struct{ kernelWorkload }
+type matmulWorkload struct{ kernelWorkload }
+type syncbenchWorkload struct{ kernelWorkload }
+
+// nocWorkload drives synthetic traffic on the bare network; its Run body
+// lives in run.go next to the per-point measurement.
+type nocWorkload struct{}
+
+func (nocWorkload) Kind() WorkloadKind { return WorkloadNoC }
+
+func (nocWorkload) Run(s *Scenario) ([]Result, error) { return runNoC(s) }

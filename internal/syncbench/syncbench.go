@@ -9,8 +9,6 @@ package syncbench
 
 import (
 	"fmt"
-	"strings"
-	"text/tabwriter"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -61,16 +59,26 @@ type Result struct {
 	NoCFlits int64
 }
 
-// Measure runs rounds synchronization episodes on cores compute cores and
+// Measure runs rounds synchronization episodes on cores compute cores
+// with the package's reference configuration (8 kB write-back L1s) and
 // returns the averaged cost.
 func Measure(kind Kind, cores, rounds int) (Result, error) {
+	return MeasureWith(kind, core.DefaultConfig(cores, 8, cache.WriteBack), rounds)
+}
+
+// MeasureWith runs rounds synchronization episodes on the system described
+// by cfg (cfg.NumCompute cores take part) and returns the averaged cost.
+// It is the configurable entry point behind Measure, shared with the
+// kernel sweeps in internal/dse so the declarative and hand-coded paths
+// measure through one implementation.
+func MeasureWith(kind Kind, cfg core.Config, rounds int) (Result, error) {
+	cores := cfg.NumCompute
 	if cores < 1 || (kind == FlagSignal && cores < 2) {
 		return Result{}, fmt.Errorf("syncbench: %v needs enough cores, got %d", kind, cores)
 	}
 	if rounds < 1 {
 		return Result{}, fmt.Errorf("syncbench: rounds must be positive")
 	}
-	cfg := core.DefaultConfig(cores, 8, cache.WriteBack)
 	sys, err := core.Build(cfg)
 	if err != nil {
 		return Result{}, err
@@ -178,29 +186,4 @@ func (b *lockBarrier) wait() {
 			return
 		}
 	}
-}
-
-// Table runs both barrier kinds over the given core counts and renders the
-// comparison.
-func Table(coreCounts []int, rounds int) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Barrier latency (cycles/episode, %d rounds, deterministic skew)\n", rounds)
-	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintf(w, "cores\tempi-barrier\tlock-barrier\tratio\tmpmmu-busy(lock)\t\n")
-	for _, c := range coreCounts {
-		msg, err := Measure(MessageBarrier, c, rounds)
-		if err != nil {
-			return "", err
-		}
-		lck, err := Measure(LockBarrier, c, rounds)
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(w, "%d\t%d\t%d\t%.2fx\t%d\t\n",
-			c, msg.CyclesPerRound, lck.CyclesPerRound,
-			float64(lck.CyclesPerRound)/float64(msg.CyclesPerRound),
-			lck.MPMMUBusy)
-	}
-	w.Flush()
-	return b.String(), nil
 }

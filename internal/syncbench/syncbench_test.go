@@ -1,8 +1,10 @@
 package syncbench
 
 import (
-	"strings"
 	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
 )
 
 func TestMessageBarrierLatency(t *testing.T) {
@@ -97,15 +99,24 @@ func TestMeasureValidation(t *testing.T) {
 	}
 }
 
-func TestTable(t *testing.T) {
-	tbl, err := Table([]int{2, 4}, 5)
+// TestMeasureWithMatchesMeasure pins the refactor contract: Measure is
+// exactly MeasureWith on the reference configuration, and MeasureWith
+// honours a different cache configuration (the lock barrier's cost moves
+// with the L1 size because its flag lines live in shared memory).
+func TestMeasureWithMatchesMeasure(t *testing.T) {
+	short, err := Measure(LockBarrier, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"empi-barrier", "lock-barrier", "ratio"} {
-		if !strings.Contains(tbl, want) {
-			t.Errorf("table missing %q:\n%s", want, tbl)
-		}
+	same, err := MeasureWith(LockBarrier, core.DefaultConfig(4, 8, cache.WriteBack), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short != same {
+		t.Errorf("MeasureWith(reference cfg) = %+v, Measure = %+v", same, short)
+	}
+	if _, err := MeasureWith(LockBarrier, core.DefaultConfig(4, 16, cache.WriteThrough), 5); err != nil {
+		t.Errorf("MeasureWith rejected a non-reference configuration: %v", err)
 	}
 }
 
