@@ -19,24 +19,41 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/dse"
 	"repro/internal/jacobi"
+	"repro/internal/par"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("medea-experiments: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancel the sweeps cooperatively: dispatch stops,
+	// in-flight simulations abort within a few thousand simulated cycles,
+	// and the process exits promptly (profiles still flush via the defers
+	// inside runCtx).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
+		var canceled *par.CanceledError
+		if errors.As(err, &canceled) {
+			log.Fatalf("interrupted: %d of %d points had completed; partial results discarded", canceled.Done, canceled.Total)
+		}
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 }
@@ -46,6 +63,11 @@ func main() {
 // defers still flush (a profile of a failing run is exactly the one worth
 // keeping).
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout)
+}
+
+// runCtx is run under a cancelable context (main wires Ctrl-C into it).
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("medea-experiments", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "which experiment: 6 | 7 | 8 | 9 | hybrid | sync | barrier | kernel | all")
 	full := fs.Bool("full", false, "run the paper's full parameter grid (slower)")
@@ -108,37 +130,37 @@ func run(args []string, stdout io.Writer) error {
 
 	switch *fig {
 	case "6":
-		t, _, err := dse.Fig6(fid)
+		t, _, err := dse.Fig6Ctx(ctx, fid)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t)
 	case "7":
-		_, pts, err := dse.Fig6(fid)
+		_, pts, err := dse.Fig6Ctx(ctx, fid)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, dse.Fig7(pts))
 	case "8":
-		t, _, err := dse.Fig8(fid)
+		t, _, err := dse.Fig8Ctx(ctx, fid)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t)
 	case "9":
-		_, pts, err := dse.Fig8(fid)
+		_, pts, err := dse.Fig8Ctx(ctx, fid)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, dse.Fig9(pts))
 	case "hybrid":
-		t, _, err := dse.HybridComparison(fid)
+		t, _, err := dse.HybridComparisonCtx(ctx, fid)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, t)
 	case "sync":
-		t, _, err := dse.SmallCacheComparison(fid)
+		t, _, err := dse.SmallCacheComparisonCtx(ctx, fid)
 		if err != nil {
 			return err
 		}
@@ -154,7 +176,7 @@ func run(args []string, stdout io.Writer) error {
 		} else {
 			o.Cores = []int{2, 4, 6, 8, 10, 12, 15}
 		}
-		points, err := dse.KernelAblation(o)
+		points, err := dse.KernelAblationCtx(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -179,13 +201,13 @@ func run(args []string, stdout io.Writer) error {
 		if vars != nil {
 			o.Variants = vars
 		}
-		points, err := dse.KernelAblation(o)
+		points, err := dse.KernelAblationCtx(ctx, o)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, dse.KernelAblationTable(o, points))
 	case "all":
-		t, err := dse.AllExperiments(fid)
+		t, err := dse.AllExperimentsCtx(ctx, fid)
 		if err != nil {
 			return err
 		}

@@ -19,21 +19,38 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/noc"
+	"repro/internal/par"
 	"repro/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("medea-scenarios: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancel the sweep cooperatively: dispatch stops,
+	// in-flight simulations abort within a few thousand simulated cycles,
+	// and the process exits promptly instead of finishing the sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
+		var canceled *par.CanceledError
+		if errors.As(err, &canceled) {
+			log.Fatalf("interrupted: %d of %d points had completed; partial results discarded", canceled.Done, canceled.Total)
+		}
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 }
@@ -42,6 +59,11 @@ func main() {
 // (progress, summaries) go through the log package so -format csv output
 // stays machine-clean.
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout)
+}
+
+// runCtx is run under a cancelable context (main wires Ctrl-C into it).
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("medea-scenarios", flag.ContinueOnError)
 	format := fs.String("format", "", `output format: table | csv | json (default: the scenario file's "output", else table)`)
 	outPath := fs.String("out", "", "write results to this file instead of stdout (single scenario only)")
@@ -106,7 +128,7 @@ func run(args []string, stdout io.Writer) error {
 			s.Parallelism = *par
 		}
 		log.Printf("running %s", scenario.Summary(s))
-		results, err := scenario.Run(s)
+		results, err := scenario.RunCtx(ctx, s)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bridge"
@@ -277,14 +278,57 @@ func (s *System) Launch(progs []pe.Program) {
 // Run ticks the system until every core's program has halted or the cycle
 // budget is exhausted.
 func (s *System) Run(maxCycles int64) error {
-	return s.Engine.RunUntil(func() bool {
+	return s.RunCtx(context.Background(), maxCycles)
+}
+
+// RunCtx ticks the system until every core's program has halted, the cycle
+// budget is exhausted, or the context is canceled. It is the robust run
+// loop behind Run:
+//
+//   - cancellation is polled mid-simulation (every few thousand cycles),
+//     so a canceled run stops in bounded wall time instead of at run
+//     granularity;
+//   - a program that failed (Env.Fail or a recovered panic; see pe.Launch)
+//     stops the run at the next tick boundary rather than letting the
+//     surviving cores spin against the cycle budget, and its error is
+//     returned;
+//   - on every early exit the remaining program goroutines are aborted
+//     (pe.Proc.Abort), so canceled, failed or timed-out runs leak nothing.
+func (s *System) RunCtx(ctx context.Context, maxCycles int64) error {
+	err := s.Engine.RunUntilCtx(ctx, func() bool {
+		allHalted := true
 		for _, p := range s.Procs {
 			if !p.Halted() {
-				return false
+				allHalted = false
+				continue
+			}
+			if p.ProgramErr() != nil {
+				return true // fail fast: stop the run at this tick
 			}
 		}
-		return true
+		return allHalted
 	}, maxCycles)
+
+	// Collect the first failed program by rank (deterministic: rank order,
+	// not halt order).
+	var progErr error
+	for _, p := range s.Procs {
+		if p.Halted() && p.ProgramErr() != nil {
+			progErr = fmt.Errorf("core: rank %d: %w", p.Rank, p.ProgramErr())
+			break
+		}
+	}
+	if err == nil && progErr != nil {
+		err = progErr
+	}
+	if err != nil {
+		// Unwind whatever is still running so no program goroutine
+		// outlives its abandoned simulation.
+		for _, p := range s.Procs {
+			p.Abort()
+		}
+	}
+	return err
 }
 
 // Cycles returns the cycle at which the last core finished.

@@ -1,11 +1,11 @@
 package dse
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/jacobi"
+	"repro/internal/par"
 )
 
 // CompareRow holds the three programming-model variants evaluated on one
@@ -35,35 +35,33 @@ type CompareRow struct {
 // Compare runs all three variants for every core count at a fixed cache
 // size and returns one row per configuration.
 func Compare(n int, cores []int, cacheKB, warmup, measured int) ([]CompareRow, error) {
+	return CompareCtx(context.Background(), n, cores, cacheKB, warmup, measured)
+}
+
+// CompareCtx is Compare with cooperative cancellation, running on the
+// same bounded worker pool as the sweeps (see SweepCtx for the error
+// shape).
+func CompareCtx(ctx context.Context, n int, cores []int, cacheKB, warmup, measured int) ([]CompareRow, error) {
 	rows := make([]CompareRow, len(cores))
-	errs := make([]error, len(cores))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, c := range cores {
-		wg.Add(1)
-		go func(i, c int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			row, err := compareOne(n, c, cacheKB, warmup, measured)
-			rows[i], errs[i] = row, err
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	if err := par.ForEachCtx(ctx, len(cores), 0, func(i int) error {
+		row, err := compareOne(ctx, n, cores[i], cacheKB, warmup, measured)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-func compareOne(n, cores, cacheKB, warmup, measured int) (CompareRow, error) {
+func compareOne(ctx context.Context, n, cores, cacheKB, warmup, measured int) (CompareRow, error) {
 	spec := jacobi.Spec{N: n, Warmup: warmup, Measured: measured}
 	row := CompareRow{Compute: cores, CacheKB: cacheKB}
 	for _, v := range []jacobi.Variant{jacobi.HybridFull, jacobi.HybridSync, jacobi.PureSM} {
 		cfg := core.DefaultConfig(cores, cacheKB, 0)
-		res, err := jacobi.Run(cfg, spec, v)
+		res, err := jacobi.RunCtx(ctx, cfg, spec, v)
 		if err != nil {
 			return row, err
 		}

@@ -5,6 +5,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -79,6 +80,16 @@ func DefaultOptions(n int) Options {
 // (policy, cache, cores). Runs execute concurrently; each simulation is
 // independently deterministic, so the result set is reproducible.
 func Sweep(o Options) ([]Point, error) {
+	return SweepCtx(context.Background(), o)
+}
+
+// SweepCtx is Sweep with cooperative cancellation: a canceled context
+// stops dispatching new points, interrupts in-flight simulations, and
+// returns the context's error (wrapped in a par.CanceledError recording
+// how many points had finished). A panic inside one point is isolated to
+// that point and surfaces as a *par.PanicError instead of crashing the
+// sweep.
+func SweepCtx(ctx context.Context, o Options) ([]Point, error) {
 	if o.Warmup == 0 && o.Measured == 0 {
 		o.Warmup, o.Measured = 1, 1
 	}
@@ -99,18 +110,17 @@ func Sweep(o Options) ([]Point, error) {
 		}
 	}
 	points := make([]Point, len(jobs))
-	errs := make([]error, len(jobs))
 
-	// Each slot of points/errs is written by exactly one job, so the
-	// fixed worker pool needs no further synchronization.
-	par.ForEach(len(jobs), o.Parallelism, func(i int) {
+	// Each slot of points is written by exactly one job, so the fixed
+	// worker pool needs no further synchronization; per-point errors are
+	// collected and joined in index order by ForEachCtx.
+	if err := par.ForEachCtx(ctx, len(jobs), o.Parallelism, func(i int) error {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
 		spec := jacobi.Spec{N: o.N, Warmup: o.Warmup, Measured: o.Measured}
-		res, err := jacobi.Run(cfg, spec, o.Variant)
+		res, err := jacobi.RunCtx(ctx, cfg, spec, o.Variant)
 		if err != nil {
-			errs[j.idx] = err
-			return
+			return err
 		}
 		points[j.idx] = Point{
 			Compute: j.cores, CacheKB: j.kb, Policy: j.policy,
@@ -121,11 +131,9 @@ func Sweep(o Options) ([]Point, error) {
 			MPMMUBusy:     res.MPMMUBusy,
 			NoCFlits:      res.NoCFlits,
 		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	AttachSpeedup(points)
 	return points, nil

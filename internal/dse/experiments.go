@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -61,7 +62,12 @@ func Fig8Options(f Fidelity) Options {
 // number of cores, the cache size and the cache policy. It returns the
 // rendered table and the raw points (which Fig7 reuses).
 func Fig6(f Fidelity) (string, []Point, error) {
-	pts, err := Sweep(Fig6Options(f))
+	return Fig6Ctx(context.Background(), f)
+}
+
+// Fig6Ctx is Fig6 with cooperative cancellation.
+func Fig6Ctx(ctx context.Context, f Fidelity) (string, []Point, error) {
+	pts, err := SweepCtx(ctx, Fig6Options(f))
 	if err != nil {
 		return "", nil, fmt.Errorf("fig6: %w", err)
 	}
@@ -80,7 +86,12 @@ func Fig7(points []Point) string {
 // Fig8 reproduces Figure 8: execution time for a 30x30 array, write-back
 // caches only, 2-32 kB.
 func Fig8(f Fidelity) (string, []Point, error) {
-	pts, err := Sweep(Fig8Options(f))
+	return Fig8Ctx(context.Background(), f)
+}
+
+// Fig8Ctx is Fig8 with cooperative cancellation.
+func Fig8Ctx(ctx context.Context, f Fidelity) (string, []Point, error) {
+	pts, err := SweepCtx(ctx, Fig8Options(f))
 	if err != nil {
 		return "", nil, fmt.Errorf("fig8: %w", err)
 	}
@@ -101,11 +112,16 @@ func Fig9(points []Point) string {
 // with 16 kB caches across core counts, reporting the pure-SM/hybrid and
 // sync-only ratios.
 func HybridComparison(f Fidelity) (string, []CompareRow, error) {
+	return HybridComparisonCtx(context.Background(), f)
+}
+
+// HybridComparisonCtx is HybridComparison with cooperative cancellation.
+func HybridComparisonCtx(ctx context.Context, f Fidelity) (string, []CompareRow, error) {
 	cores := []int{2, 4, 6, 8, 10}
 	if f == Full {
 		cores = []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
 	}
-	rows, err := Compare(60, cores, 16, 1, 1)
+	rows, err := CompareCtx(ctx, 60, cores, 16, 1, 1)
 	if err != nil {
 		return "", nil, fmt.Errorf("hybrid comparison: %w", err)
 	}
@@ -117,11 +133,17 @@ func HybridComparison(f Fidelity) (string, []CompareRow, error) {
 // regime (2 kB caches), where the paper reports the sync-only hybrid
 // within 2-20% of the full hybrid.
 func SmallCacheComparison(f Fidelity) (string, []CompareRow, error) {
+	return SmallCacheComparisonCtx(context.Background(), f)
+}
+
+// SmallCacheComparisonCtx is SmallCacheComparison with cooperative
+// cancellation.
+func SmallCacheComparisonCtx(ctx context.Context, f Fidelity) (string, []CompareRow, error) {
 	cores := []int{2, 6, 10}
 	if f == Full {
 		cores = []int{2, 4, 6, 8, 10, 12}
 	}
-	rows, err := Compare(60, cores, 2, 1, 1)
+	rows, err := CompareCtx(ctx, 60, cores, 2, 1, 1)
 	if err != nil {
 		return "", nil, fmt.Errorf("small-cache comparison: %w", err)
 	}
@@ -132,8 +154,15 @@ func SmallCacheComparison(f Fidelity) (string, []CompareRow, error) {
 // AllExperiments renders every figure and comparison at the given
 // fidelity, in paper order.
 func AllExperiments(f Fidelity) (string, error) {
+	return AllExperimentsCtx(context.Background(), f)
+}
+
+// AllExperimentsCtx is AllExperiments with cooperative cancellation: a
+// canceled context stops the in-flight sweep and returns its error,
+// discarding the partial report.
+func AllExperimentsCtx(ctx context.Context, f Fidelity) (string, error) {
 	var b strings.Builder
-	t6, p6, err := Fig6(f)
+	t6, p6, err := Fig6Ctx(ctx, f)
 	if err != nil {
 		return "", err
 	}
@@ -141,7 +170,7 @@ func AllExperiments(f Fidelity) (string, error) {
 	b.WriteString("\n")
 	b.WriteString(Fig7(p6))
 	b.WriteString("\n")
-	t8, p8, err := Fig8(f)
+	t8, p8, err := Fig8Ctx(ctx, f)
 	if err != nil {
 		return "", err
 	}
@@ -149,13 +178,13 @@ func AllExperiments(f Fidelity) (string, error) {
 	b.WriteString("\n")
 	b.WriteString(Fig9(p8))
 	b.WriteString("\n")
-	th, _, err := HybridComparison(f)
+	th, _, err := HybridComparisonCtx(ctx, f)
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(th)
 	b.WriteString("\n")
-	ts, _, err := SmallCacheComparison(f)
+	ts, _, err := SmallCacheComparisonCtx(ctx, f)
 	if err != nil {
 		return "", err
 	}

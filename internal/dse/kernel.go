@@ -10,6 +10,7 @@ package dse
 // point-for-point.
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -209,12 +210,19 @@ func (o *KernelOptions) withDefaults() error {
 // is the single execution path behind scenario kernel workloads,
 // KernelAblation and cmd/medea-experiments.
 func KernelSweep(o KernelOptions) ([]KernelPoint, error) {
+	return KernelSweepCtx(context.Background(), o)
+}
+
+// KernelSweepCtx is KernelSweep with cooperative cancellation: a canceled
+// context stops dispatching new points and interrupts in-flight
+// simulations (see SweepCtx for the error shape).
+func KernelSweepCtx(ctx context.Context, o KernelOptions) ([]KernelPoint, error) {
 	if err := o.withDefaults(); err != nil {
 		return nil, err
 	}
 	var out []KernelPoint
 	for _, variant := range o.Variants {
-		pts, err := kernelVariantSweep(o, variant)
+		pts, err := kernelVariantSweep(ctx, o, variant)
 		if err != nil {
 			return nil, err
 		}
@@ -227,9 +235,9 @@ func KernelSweep(o KernelOptions) ([]KernelPoint, error) {
 // kernelVariantSweep runs one variant's policies x caches x cores grid.
 // Jacobi delegates to Sweep so the declarative path, the figure sweeps
 // and the kernel ablation share one execution path byte-for-byte.
-func kernelVariantSweep(o KernelOptions, variant jacobi.Variant) ([]KernelPoint, error) {
+func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Variant) ([]KernelPoint, error) {
 	if o.Kernel == KernelJacobi {
-		pts, err := Sweep(Options{
+		pts, err := SweepCtx(ctx, Options{
 			N:           o.N,
 			Cores:       o.Cores,
 			CachesKB:    o.CachesKB,
@@ -273,8 +281,7 @@ func kernelVariantSweep(o KernelOptions, variant jacobi.Variant) ([]KernelPoint,
 		}
 	}
 	points := make([]KernelPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	par.ForEach(len(jobs), o.Parallelism, func(i int) {
+	if err := par.ForEachCtx(ctx, len(jobs), o.Parallelism, func(i int) error {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
 		p := KernelPoint{
@@ -284,10 +291,9 @@ func kernelVariantSweep(o KernelOptions, variant jacobi.Variant) ([]KernelPoint,
 		}
 		switch o.Kernel {
 		case KernelMatmul:
-			res, err := matmul.Run(cfg, matmul.Spec{N: o.N}, variant)
+			res, err := matmul.RunCtx(ctx, cfg, matmul.Spec{N: o.N}, variant)
 			if err != nil {
-				errs[j.idx] = err
-				return
+				return err
 			}
 			p.Cycles = res.TotalCycles
 			p.TransferCycles = res.TransferCycles
@@ -298,21 +304,18 @@ func kernelVariantSweep(o KernelOptions, variant jacobi.Variant) ([]KernelPoint,
 			if variant == jacobi.PureSM {
 				kind = syncbench.LockBarrier
 			}
-			res, err := syncbench.MeasureWith(kind, cfg, o.Rounds)
+			res, err := syncbench.MeasureWithCtx(ctx, kind, cfg, o.Rounds)
 			if err != nil {
-				errs[j.idx] = err
-				return
+				return err
 			}
 			p.Cycles = res.CyclesPerRound
 			p.MPMMUBusy = res.MPMMUBusy
 			p.NoCFlits = res.NoCFlits
 		}
 		points[j.idx] = p
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -383,6 +386,11 @@ func DefaultKernelAblationOptions() KernelAblationOptions {
 // kernel's share is one KernelSweep, the execution path shared with the
 // scenario runner.
 func KernelAblation(o KernelAblationOptions) ([]KernelPoint, error) {
+	return KernelAblationCtx(context.Background(), o)
+}
+
+// KernelAblationCtx is KernelAblation with cooperative cancellation.
+func KernelAblationCtx(ctx context.Context, o KernelAblationOptions) ([]KernelPoint, error) {
 	kernels := o.Kernels
 	if len(kernels) == 0 {
 		kernels = AllKernels()
@@ -392,7 +400,7 @@ func KernelAblation(o KernelAblationOptions) ([]KernelPoint, error) {
 	}
 	var out []KernelPoint
 	for _, k := range kernels {
-		pts, err := KernelSweep(KernelOptions{
+		pts, err := KernelSweepCtx(ctx, KernelOptions{
 			Kernel:      k,
 			N:           o.N,
 			Rounds:      o.Rounds,

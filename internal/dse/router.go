@@ -9,6 +9,7 @@ package dse
 // adaptive, wormhole-VC).
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -62,6 +63,12 @@ func DefaultRouterAblationOptions() RouterAblationOptions {
 // returns one point per combination, routers outermost, in deterministic
 // order.
 func RouterAblation(o RouterAblationOptions) ([]RouterPoint, error) {
+	return RouterAblationCtx(context.Background(), o)
+}
+
+// RouterAblationCtx is RouterAblation with cooperative cancellation (see
+// SweepCtx for the error shape).
+func RouterAblationCtx(ctx context.Context, o RouterAblationOptions) ([]RouterPoint, error) {
 	topo, err := noc.NewTopology(o.W, o.H)
 	if err != nil {
 		return nil, err
@@ -86,16 +93,19 @@ func RouterAblation(o RouterAblationOptions) ([]RouterPoint, error) {
 	}
 
 	points := make([]RouterPoint, len(routers)*len(o.Rates))
-	par.ForEach(len(points), o.Parallelism, func(i int) {
+	if err := par.ForEachCtx(ctx, len(points), o.Parallelism, func(i int) error {
 		kind := routers[i/len(o.Rates)]
 		rate := o.Rates[i%len(o.Rates)]
-		m := noc.Measure(topo, noc.MeasureConfig{
+		m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{
 			Router:  kind,
 			Traffic: noc.TrafficConfig{Pattern: o.Pattern, Rate: rate},
 			Warmup:  o.Warmup,
 			Measure: o.Measure,
 			Seed:    o.Seed,
 		})
+		if err != nil {
+			return err
+		}
 		points[i] = RouterPoint{
 			Router:         kind,
 			Rate:           rate,
@@ -105,7 +115,10 @@ func RouterAblation(o RouterAblationOptions) ([]RouterPoint, error) {
 			DeflectionRate: m.DeflectionRate,
 			PeakBuffer:     m.PeakBuffer,
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return points, nil
 }
 

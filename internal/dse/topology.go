@@ -10,6 +10,7 @@ package dse
 // fabric, thinner bisection per endpoint).
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -69,6 +70,12 @@ func DefaultTopologyAblationOptions() TopologyAblationOptions {
 // deterministic order. Every listed pattern/topology combination must
 // pass per-topology validation.
 func TopologyAblation(o TopologyAblationOptions) ([]TopologyPoint, error) {
+	return TopologyAblationCtx(context.Background(), o)
+}
+
+// TopologyAblationCtx is TopologyAblation with cooperative cancellation
+// (see SweepCtx for the error shape).
+func TopologyAblationCtx(ctx context.Context, o TopologyAblationOptions) ([]TopologyPoint, error) {
 	kinds := o.Topologies
 	if len(kinds) == 0 {
 		kinds = noc.AllTopologies()
@@ -97,16 +104,19 @@ func TopologyAblation(o TopologyAblationOptions) ([]TopologyPoint, error) {
 	}
 
 	points := make([]TopologyPoint, len(topos)*len(o.Rates))
-	par.ForEach(len(points), o.Parallelism, func(i int) {
+	if err := par.ForEachCtx(ctx, len(points), o.Parallelism, func(i int) error {
 		topo := topos[i/len(o.Rates)]
 		rate := o.Rates[i%len(o.Rates)]
-		m := noc.Measure(topo, noc.MeasureConfig{
+		m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{
 			Router:  o.Router,
 			Traffic: noc.TrafficConfig{Pattern: o.Pattern, Rate: rate},
 			Warmup:  o.Warmup,
 			Measure: o.Measure,
 			Seed:    o.Seed,
 		})
+		if err != nil {
+			return err
+		}
 		points[i] = TopologyPoint{
 			Topology:       topo.Kind(),
 			Rate:           rate,
@@ -116,7 +126,10 @@ func TopologyAblation(o TopologyAblationOptions) ([]TopologyPoint, error) {
 			DeflectionRate: m.DeflectionRate,
 			PeakBuffer:     m.PeakBuffer,
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return points, nil
 }
 

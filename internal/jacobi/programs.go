@@ -1,6 +1,8 @@
 package jacobi
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/empi"
 	"repro/internal/pe"
@@ -64,7 +66,10 @@ func (k *kernel) run() {
 	if k.variant != PureSM {
 		c, err := empi.New(k.env, k.nodeOf)
 		if err != nil {
-			panic(err)
+			// Fail this rank's core instead of panicking: the run aborts
+			// with a per-point error the sweep drivers propagate, rather
+			// than the process dying (see core.System.RunCtx).
+			k.env.Fail(fmt.Errorf("jacobi: rank %d: %w", rank, err))
 		}
 		k.comm = c
 	}

@@ -1,6 +1,7 @@
 package jacobi
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -53,6 +54,14 @@ func WithSystemHook(fn func(*core.System) error) RunOption {
 // given variant, verifies the numerical result against the sequential
 // reference, and returns the measurements.
 func Run(cfg core.Config, spec Spec, variant Variant, opts ...RunOption) (Result, error) {
+	return RunCtx(context.Background(), cfg, spec, variant, opts...)
+}
+
+// RunCtx is Run with cooperative cancellation: a canceled context stops
+// the simulation mid-run (within a few thousand simulated cycles of wall
+// time) and aborts the kernel goroutines, so a canceled sweep point costs
+// bounded time and leaks nothing.
+func RunCtx(ctx context.Context, cfg core.Config, spec Spec, variant Variant, opts ...RunOption) (Result, error) {
 	var ro runOptions
 	for _, o := range opts {
 		o(&ro)
@@ -75,7 +84,7 @@ func Run(cfg core.Config, spec Spec, variant Variant, opts ...RunOption) (Result
 	layFor := func(rank int) Layout { return NewLayout(sys.Map, spec.N, blocks[rank]) }
 	progs, sh := Programs(spec, variant, blocks, sys.RankNodes(), layFor)
 	sys.Launch(progs)
-	if err := sys.Run(DefaultBudget); err != nil {
+	if err := sys.RunCtx(ctx, DefaultBudget); err != nil {
 		return Result{}, fmt.Errorf("jacobi: %v %v on %d cores: %w", spec, variant, cfg.NumCompute, err)
 	}
 	if n := sys.IntegrityErrors(); n != 0 {

@@ -1,6 +1,7 @@
 package matmul
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -31,6 +32,13 @@ type mmShared struct {
 // Run executes C = A x B on a MEDEA system in the given variant and
 // verifies the product against the sequential reference.
 func Run(cfg core.Config, spec Spec, variant Variant) (Result, error) {
+	return RunCtx(context.Background(), cfg, spec, variant)
+}
+
+// RunCtx is Run with cooperative cancellation: a canceled context stops
+// the simulation mid-run and aborts the kernel goroutines, so a canceled
+// sweep point costs bounded time and leaks nothing.
+func RunCtx(ctx context.Context, cfg core.Config, spec Spec, variant Variant) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -60,7 +68,7 @@ func Run(cfg core.Config, spec Spec, variant Variant) (Result, error) {
 		}
 	}
 	sys.Launch(progs)
-	if err := sys.Run(jacobi.DefaultBudget); err != nil {
+	if err := sys.RunCtx(ctx, jacobi.DefaultBudget); err != nil {
 		return Result{}, fmt.Errorf("matmul: %v on %d cores: %w", variant, cfg.NumCompute, err)
 	}
 	if n := sys.IntegrityErrors(); n != 0 {
@@ -117,7 +125,9 @@ func (k *mmKernel) run() {
 	if k.variant != PureSM {
 		c, err := empi.New(k.env, k.nodeOf)
 		if err != nil {
-			panic(err)
+			// Fail this rank's core instead of panicking: the run aborts
+			// with a per-point error instead of killing the process.
+			k.env.Fail(fmt.Errorf("matmul: rank %d: %w", rank, err))
 		}
 		k.comm = c
 	}

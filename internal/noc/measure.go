@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"context"
+
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -48,6 +50,15 @@ type Measurement struct {
 // endpoint, so topologies with different switch counts (the cmesh) stay
 // comparable per attached node.
 func Measure(topo Topology, mc MeasureConfig) Measurement {
+	m, _ := MeasureCtx(context.Background(), topo, mc)
+	return m
+}
+
+// MeasureCtx is Measure with cooperative cancellation: the context is
+// polled every few thousand simulated cycles, so a canceled measurement
+// stops in bounded wall time and returns the context's error with a
+// zero-value Measurement.
+func MeasureCtx(ctx context.Context, topo Topology, mc MeasureConfig) (Measurement, error) {
 	e := sim.NewEngine()
 	n := NewRouterNetwork(e, topo, mc.Router)
 	for i := 0; i < topo.NumEndpoints(); i++ {
@@ -56,13 +67,17 @@ func Measure(topo Topology, mc MeasureConfig) Measurement {
 		e.Register(sim.PhaseNode, tn)
 	}
 
-	e.Run(mc.Warmup)
+	if err := e.RunCtx(ctx, mc.Warmup); err != nil {
+		return Measurement{}, err
+	}
 	sample := &stats.Sample{}
 	n.Stats.LatencySample = sample
 	delivered0 := n.Stats.Delivered.Value()
 	deflected0 := n.TotalDeflections()
 	hopsN0, hopsSum := n.Stats.Hops.Count(), n.Stats.Hops.Sum()
-	e.Run(mc.Measure)
+	if err := e.RunCtx(ctx, mc.Measure); err != nil {
+		return Measurement{}, err
+	}
 
 	delivered := n.Stats.Delivered.Value() - delivered0
 	deflected := n.TotalDeflections() - deflected0
@@ -82,5 +97,5 @@ func Measure(topo Topology, mc MeasureConfig) Measurement {
 	if delivered > 0 {
 		m.DeflectionRate = float64(deflected) / float64(delivered)
 	}
-	return m
+	return m, nil
 }

@@ -2,20 +2,90 @@
 // sweep drivers (dse.Sweep, scenario.Run): a bounded number of goroutines
 // pulls indices from a channel, so the goroutine count stays constant no
 // matter how large the job grid grows.
+//
+// ForEachCtx is the robust entry point: it stops dispatching new jobs when
+// the context is canceled (in-flight jobs finish; the sweep stops at job
+// granularity), converts a panicking job into a per-job *PanicError
+// instead of crashing the process, and reports partial completion through
+// *CanceledError. ForEach is the legacy fire-and-forget shim over it.
 package par
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is the structured error a panicking job is converted into:
+// the job index, the recovered value and the goroutine stack at the point
+// of the panic. The worker that recovered it keeps serving the remaining
+// jobs — one poisoned configuration fails its own sweep point only.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// CanceledError reports a sweep stopped by context cancellation: Done of
+// Total jobs completed before the stop. It unwraps to the context's error
+// so errors.Is(err, context.Canceled/DeadlineExceeded) works.
+type CanceledError struct {
+	Done  int
+	Total int
+	Err   error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("par: canceled after %d of %d jobs: %v", e.Done, e.Total, e.Err)
+}
+
+// Unwrap exposes the underlying context error.
+func (e *CanceledError) Unwrap() error { return e.Err }
 
 // ForEach runs fn(i) for every i in [0, n) on a fixed pool of workers
 // goroutines (workers <= 0 means GOMAXPROCS). It returns when all calls
 // have completed. fn must synchronize any shared state itself; writing
 // each i to its own slot of a pre-sized slice needs no synchronization.
 func ForEach(n, workers int, fn func(int)) {
+	err := ForEachCtx(context.Background(), n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+	// The only possible error here is a recovered panic (the context is
+	// never canceled and fn returns no errors); re-panic it so legacy
+	// callers keep the crash-on-bug semantics they were written against.
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe.Value)
+	}
+}
+
+// ForEachCtx runs fn(i) for every i in [0, n) on a fixed pool of workers
+// goroutines (workers <= 0 means GOMAXPROCS) and returns after every
+// started call has finished.
+//
+// Cancellation is cooperative at job granularity: once ctx is canceled no
+// further jobs start, in-flight jobs run to completion (long-running jobs
+// should additionally watch ctx themselves), and the returned error is a
+// *CanceledError wrapping ctx.Err(), joined with any per-job errors.
+//
+// A job that panics does not crash the process: the panic is recovered in
+// the worker and recorded as a *PanicError for that index, and the worker
+// moves on to the next job. Per-job errors (returned or recovered) are
+// joined in index order, so the combined error is deterministic no matter
+// how the jobs interleaved.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -23,6 +93,8 @@ func ForEach(n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
+	done := make([]bool, n)
 	ch := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -30,13 +102,48 @@ func ForEach(n, workers int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				fn(i)
+				errs[i] = runJob(i, fn)
+				done[i] = true
 			}
 		}()
 	}
+	canceled := false
+dispatch:
 	for i := 0; i < n; i++ {
-		ch <- i
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			canceled = true
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+
+	// Join per-job errors in index order: deterministic regardless of the
+	// execution interleaving.
+	var all []error
+	completed := 0
+	for i := 0; i < n; i++ {
+		if done[i] && errs[i] == nil {
+			completed++
+		}
+		if errs[i] != nil {
+			all = append(all, errs[i])
+		}
+	}
+	if canceled {
+		all = append([]error{&CanceledError{Done: completed, Total: n, Err: ctx.Err()}}, all...)
+	}
+	return errors.Join(all...)
+}
+
+// runJob executes one job with panic isolation.
+func runJob(i int, fn func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
 }

@@ -1,6 +1,10 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -25,4 +29,135 @@ func TestForEachZeroJobs(t *testing.T) {
 	if ran {
 		t.Error("fn ran with n=0")
 	}
+}
+
+func TestForEachCtxCoversEveryIndexOnce(t *testing.T) {
+	counts := make([]int32, 37)
+	err := ForEachCtx(context.Background(), len(counts), 3, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEachCtx: %v", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachCtxCancellationStopsDispatch(t *testing.T) {
+	// One worker, cancel from inside the third job: jobs 0-2 complete,
+	// jobs 3+ never start, and the error reports the partial count.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 100, 1, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("err must unwrap to context.Canceled")
+	}
+	if ce.Total != 100 {
+		t.Errorf("Total = %d, want 100", ce.Total)
+	}
+	// The dispatch select can lose a few races against an already-waiting
+	// worker, but the sweep must stop near-immediately, nowhere close to
+	// finishing the 100-job grid.
+	if got := int(ran.Load()); got < 3 || got > 20 {
+		t.Errorf("%d jobs ran after cancel at job 2, want barely more than 3", got)
+	}
+	if ce.Done != int(ran.Load()) {
+		t.Errorf("Done = %d, but %d jobs completed", ce.Done, ran.Load())
+	}
+}
+
+func TestForEachCtxPreCanceledStopsAtOnce(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 100, 2, func(int) error { ran.Add(1); return nil })
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	// Each dispatch iteration is a select between a ready Done channel and
+	// a possibly-ready worker, so a short run of jobs can slip through on
+	// lost coin flips — but the sweep must die out long before 100 jobs.
+	if got := int(ran.Load()); got > 20 {
+		t.Errorf("%d jobs ran under a pre-canceled context", got)
+	}
+	if ce.Done != int(ran.Load()) {
+		t.Errorf("Done = %d, but %d jobs completed", ce.Done, ran.Load())
+	}
+}
+
+func TestForEachCtxPanicIsolatedPerJob(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEachCtx(context.Background(), 8, 2, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			panic("poisoned config")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 3 || pe.Value != "poisoned config" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {Index:%d Value:%v stack:%d bytes}", pe.Index, pe.Value, len(pe.Stack))
+	}
+	// The panicking job must not have taken its worker down with it.
+	if got := int(ran.Load()); got != 8 {
+		t.Errorf("%d jobs ran, want all 8 despite the panic", got)
+	}
+}
+
+func TestForEachCtxErrorsJoinInIndexOrder(t *testing.T) {
+	fail := map[int]bool{5: true, 1: true, 7: true}
+	err := ForEachCtx(context.Background(), 9, 4, func(i int) error {
+		if fail[i] {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want a joined error")
+	}
+	msg := err.Error()
+	i1 := strings.Index(msg, "job 1 failed")
+	i5 := strings.Index(msg, "job 5 failed")
+	i7 := strings.Index(msg, "job 7 failed")
+	if i1 < 0 || i5 < 0 || i7 < 0 {
+		t.Fatalf("missing failures in %q", msg)
+	}
+	if !(i1 < i5 && i5 < i7) {
+		t.Errorf("errors out of index order in %q", msg)
+	}
+}
+
+func TestForEachRepanics(t *testing.T) {
+	// The legacy shim restores crash-on-bug semantics: the recovered value
+	// surfaces as a panic in the caller, not as a swallowed error.
+	defer func() {
+		if r := recover(); r != "legacy boom" {
+			t.Errorf("recovered %v, want the original panic value", r)
+		}
+	}()
+	ForEach(4, 2, func(i int) {
+		if i == 2 {
+			panic("legacy boom")
+		}
+	})
+	t.Error("ForEach returned instead of re-panicking")
 }

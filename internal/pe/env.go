@@ -1,6 +1,7 @@
 package pe
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/tie"
@@ -18,7 +19,27 @@ type Env struct {
 
 func (e *Env) issue(o op) result {
 	e.p.opCh <- o
-	return <-e.p.resCh
+	res := <-e.p.resCh
+	if res.aborted {
+		// The core aborted this program (see Proc.Abort): unwind the
+		// goroutine through the recovery wrapper installed by Launch.
+		panic(errProgramAborted)
+	}
+	return res
+}
+
+// Fail terminates the calling program with err: the error is recorded on
+// the core (readable through Proc.ProgramErr once halted) and the program
+// goroutine unwinds immediately. It is the structured alternative to
+// panicking inside kernel code for conditions detected at run time — a
+// failed program halts its own core and fails its own simulation instead
+// of crashing the process. Fail never returns.
+func (e *Env) Fail(err error) {
+	if err == nil {
+		err = errProgramAborted
+	}
+	e.p.progErr = err
+	panic(fmt.Errorf("%w: %v", errProgramAborted, err))
 }
 
 // NodeID returns the core's NoC node id.

@@ -10,7 +10,9 @@
 package pe
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/bridge"
 	"repro/internal/cache"
@@ -51,7 +53,16 @@ type op struct {
 type result struct {
 	value uint64
 	pkt   tie.Packet
+	// aborted poisons the result: the program goroutine unwinds via
+	// errProgramAborted instead of consuming it (see Proc.Abort).
+	aborted bool
 }
+
+// errProgramAborted is the sentinel the Env API panics with when the core
+// aborts its program (run canceled, budget exhausted, or a sibling core
+// failed). Launch's recovery wrapper swallows it — an abort is a clean
+// unwind, not a program failure.
+var errProgramAborted = errors.New("pe: program aborted")
 
 type procState int
 
@@ -98,6 +109,13 @@ type Proc struct {
 	lastCycle int64
 	finish    int64
 
+	// progErr records why the program goroutine terminated abnormally: an
+	// error passed to Env.Fail, or a recovered panic with its stack. It is
+	// written by the program goroutine strictly before the final opHalt
+	// rendezvous, so the simulation driver may read it once the core has
+	// halted (Halted() true) without further synchronization.
+	progErr error
+
 	Stats Stats
 }
 
@@ -120,20 +138,78 @@ type Program func(env *Env)
 
 // Launch starts the program goroutine. The core begins fetching operations
 // on the next cycle. Call once per run.
+//
+// The goroutine is panic-isolated: a panic in program code is recovered,
+// recorded (readable through ProgramErr once the core halts) and converted
+// into a normal halt, so one faulty kernel fails its own run instead of
+// taking down the whole process — essential when many simulations share a
+// long-running server.
 func (p *Proc) Launch(prog Program) {
 	if p.st != stHalted {
 		panic("pe: program already running")
 	}
+	p.progErr = nil
 	p.st = stNeedOp
 	go func() {
+		defer func() {
+			if r := recover(); r != nil && !isAbort(r) {
+				p.progErr = fmt.Errorf("pe: program on core %d (rank %d) panicked: %v\n%s",
+					p.ID, p.Rank, r, debug.Stack())
+			}
+			// Always complete the halt rendezvous, even after a panic or
+			// abort: the engine side (fetchOp or Abort) is blocked on it.
+			p.opCh <- op{kind: opHalt}
+		}()
 		env := &Env{p: p}
 		prog(env)
-		p.opCh <- op{kind: opHalt}
 	}()
+}
+
+// isAbort reports whether a recovered value is the clean-abort sentinel
+// (raised by Env.issue on a poisoned result or by Env.Fail).
+func isAbort(r any) bool {
+	err, ok := r.(error)
+	return ok && errors.Is(err, errProgramAborted)
 }
 
 // Halted reports whether the program has finished.
 func (p *Proc) Halted() bool { return p.st == stHalted }
+
+// ProgramErr returns the error the program terminated with: an Env.Fail
+// error, a recovered panic, or nil for a clean finish. Only meaningful —
+// and only safe to read — once Halted() reports true.
+func (p *Proc) ProgramErr() error { return p.progErr }
+
+// Abort terminates a launched program that has not halted: it poisons the
+// rendezvous protocol so the program goroutine unwinds (every blocked or
+// future Env call panics with the abort sentinel, which Launch's wrapper
+// recovers) and returns once the goroutine has reached its halt handshake.
+// Call it from the simulation driver after abandoning a run (cancellation,
+// cycle-budget exhaustion, a failed sibling core) so canceled jobs do not
+// leak program goroutines. The core is left halted; the Proc must not be
+// stepped again afterwards.
+func (p *Proc) Abort() {
+	if p.st == stHalted {
+		return
+	}
+	// Unless the core is still waiting for the program's first operation,
+	// an operation is pending and the program goroutine is blocked on its
+	// result; poison it to start the unwind.
+	if p.st != stNeedOp {
+		p.resCh <- result{aborted: true}
+	}
+	// Drain the protocol until the goroutine's deferred halt arrives. A
+	// program that ignores the first poisoned result (e.g. application
+	// code recovered our sentinel) keeps issuing ops; keep poisoning.
+	for {
+		o := <-p.opCh
+		if o.kind == opHalt {
+			p.st = stHalted
+			return
+		}
+		p.resCh <- result{aborted: true}
+	}
+}
 
 // FinishCycle returns the cycle at which the program halted.
 func (p *Proc) FinishCycle() int64 { return p.finish }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -66,13 +67,22 @@ type Result struct {
 // registered Workload implementation. The scenario must have passed
 // Validate (Load and Parse guarantee this).
 func Run(s *Scenario) ([]Result, error) {
+	return RunCtx(context.Background(), s)
+}
+
+// RunCtx is Run with cooperative cancellation: a canceled context stops
+// dispatching new sweep points, interrupts in-flight simulations within a
+// few thousand simulated cycles, and returns the context's error (wrapped
+// in a par.CanceledError recording completed-point counts). The sweep is
+// all-or-nothing either way: on any error no results are returned.
+func RunCtx(ctx context.Context, s *Scenario) ([]Result, error) {
 	kinds, err := s.workloadKinds()
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	var all []Result
 	for _, k := range kinds {
-		results, err := ForKind(k).Run(s)
+		results, err := ForKind(k).Run(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -107,11 +117,11 @@ func DSEPoints(results []Result) []dse.Point {
 }
 
 // runNoC expands topologies x routers x patterns x rates x seeds and
-// executes each point on the shared fixed worker pool (par.ForEach, as
-// dse.Sweep does): every point is an independent deterministic
+// executes each point on the shared fixed worker pool (par.ForEachCtx, as
+// dse.SweepCtx does): every point is an independent deterministic
 // simulation, so each slot of the result slice is written by exactly one
 // job and the whole set is reproducible.
-func runNoC(s *Scenario) ([]Result, error) {
+func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 	c := s.NoC
 	topos := make([]noc.Topology, 0, len(c.topologyList()))
 	for _, tk := range c.topologyList() {
@@ -155,19 +165,25 @@ func runNoC(s *Scenario) ([]Result, error) {
 		}
 	}
 	results := make([]Result, len(jobs))
-	par.ForEach(len(jobs), s.Parallelism, func(i int) {
+	if err := par.ForEachCtx(ctx, len(jobs), s.Parallelism, func(i int) error {
 		j := jobs[i]
-		r := runNoCPoint(j.topo, c, j.router, j.pattern, j.rate, j.seed)
+		r, err := runNoCPoint(ctx, j.topo, c, j.router, j.pattern, j.rate, j.seed)
+		if err != nil {
+			return err
+		}
 		r.Scenario = s.Name
 		results[j.idx] = r
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
 // runNoCPoint simulates one (topology, router, pattern, rate, seed) point
-// through noc.Measure, the execution path shared with dse.RouterAblation,
-// dse.TopologyAblation and cmd/medea-noc.
-func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) Result {
+// through noc.MeasureCtx, the execution path shared with
+// dse.RouterAblation, dse.TopologyAblation and cmd/medea-noc.
+func runNoCPoint(ctx context.Context, topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) (Result, error) {
 	measure := c.MeasureCycles
 	if measure == 0 {
 		measure = 5000
@@ -176,7 +192,7 @@ func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern
 	if c.Burst != nil {
 		burst = &noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}
 	}
-	m := noc.Measure(topo, noc.MeasureConfig{
+	m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{
 		Router: router,
 		Traffic: noc.TrafficConfig{
 			Pattern:     pattern,
@@ -189,6 +205,9 @@ func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern
 		Measure: measure,
 		Seed:    seed,
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Workload:       WorkloadNoC.String(),
 		Topology:       topo.Kind().String(),
@@ -204,5 +223,5 @@ func runNoCPoint(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern
 		P99Latency:     m.P99Latency,
 		DeflectionRate: m.DeflectionRate,
 		PeakBuffer:     m.PeakBuffer,
-	}
+	}, nil
 }

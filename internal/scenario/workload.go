@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -112,8 +113,9 @@ type Workload interface {
 	// Kind returns the implemented workload kind.
 	Kind() WorkloadKind
 	// Run executes this kind's full sweep cross-product for the (already
-	// validated) scenario, in deterministic axis order.
-	Run(s *Scenario) ([]Result, error)
+	// validated) scenario, in deterministic axis order. A canceled context
+	// stops dispatching new points and interrupts in-flight simulations.
+	Run(ctx context.Context, s *Scenario) ([]Result, error)
 	// TableInto writes an aligned header + one row per result into w; all
 	// rows are of this kind.
 	TableInto(w *tabwriter.Writer, rows []Result)
@@ -154,12 +156,12 @@ type kernelWorkload struct {
 
 func (kw kernelWorkload) Kind() WorkloadKind { return kw.kind }
 
-func (kw kernelWorkload) Run(s *Scenario) ([]Result, error) {
+func (kw kernelWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) {
 	o, err := s.kernelSweepOptions(kw.kernel)
 	if err != nil {
 		return nil, err
 	}
-	pts, err := dse.KernelSweep(o)
+	pts, err := dse.KernelSweepCtx(ctx, o)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
@@ -206,4 +208,4 @@ type nocWorkload struct{}
 
 func (nocWorkload) Kind() WorkloadKind { return WorkloadNoC }
 
-func (nocWorkload) Run(s *Scenario) ([]Result, error) { return runNoC(s) }
+func (nocWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) { return runNoC(ctx, s) }

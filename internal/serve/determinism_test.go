@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// TestServePathMatchesCLIByteForByte pins the determinism contract of the
+// daemon: for the shipped example scenarios, the bytes a client fetches
+// from /v1/jobs/{id}/result are identical to what cmd/medea-scenarios
+// prints for the same file. Both sides run scenario.RunCtx and render
+// through scenario.Render, and the simulations themselves are seeded and
+// deterministic, so any divergence is a real regression in the serve
+// path (result caching, rendering, or state handling).
+//
+// The scenario files used here are already golden-pinned against the
+// hand-coded dse sweeps by internal/scenario's golden tests, which closes
+// the chain: paper tables == CLI output == served output.
+func TestServePathMatchesCLIByteForByte(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulations; skipped with -short")
+	}
+	files := []string{
+		"fig8-quick.json",
+		"router-ablation.json",
+		"kernel-ablation.json",
+	}
+
+	s := New(Config{Workers: 2, QueueDepth: len(files)})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, name := range files {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("..", "..", "examples", "scenarios", name)
+
+			// Reference: the CLI path, in-process.
+			sc, err := scenario.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := scenario.RunCtx(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := scenario.Render(results, sc.Output)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Served: the same file over HTTP, default format (which must
+			// resolve to the scenario's own "output" setting, like the CLI).
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := decodeStatus(t, resp)
+			deadline := time.Now().Add(5 * time.Minute)
+			for {
+				cur, err := s.Status(st.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cur.State == StateDone {
+					break
+				}
+				if cur.State.Terminal() {
+					t.Fatalf("job %s ended %s: %s", st.ID, cur.State, cur.Error)
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("job %s still %s after 5m", st.ID, cur.State)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			rr, err := ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rr.Body.Close()
+			if rr.StatusCode != http.StatusOK {
+				t.Fatalf("result status = %d", rr.StatusCode)
+			}
+			got, err := io.ReadAll(rr.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != want {
+				t.Errorf("served output differs from CLI output for %s:\nserved %d bytes, CLI %d bytes\nserved:\n%s\nCLI:\n%s",
+					name, len(got), len(want), got, want)
+			}
+		})
+	}
+}

@@ -39,6 +39,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -138,10 +139,31 @@ var ErrTimeout = errors.New("sim: cycle budget exhausted")
 // done is evaluated before each tick, so a predicate that is already true
 // costs zero cycles.
 func (e *Engine) RunUntil(done func() bool, maxCycles int64) error {
+	return e.RunUntilCtx(context.Background(), done, maxCycles)
+}
+
+// ctxCheckInterval is how many cycles elapse between context polls in the
+// context-aware run loops: frequent enough that a canceled simulation
+// stops within microseconds of wall time, rare enough that the check is
+// invisible on the tick path.
+const ctxCheckInterval = 1024
+
+// RunUntilCtx is RunUntil with cooperative cancellation: the context is
+// polled every ctxCheckInterval cycles, so a canceled or deadline-exceeded
+// run stops in bounded time (mid-simulation, not at run granularity) and
+// returns the context's error.
+func (e *Engine) RunUntilCtx(ctx context.Context, done func() bool, maxCycles int64) error {
 	deadline := e.cycle + maxCycles
+	check := e.cycle + ctxCheckInterval
 	for !done() {
 		if e.cycle >= deadline {
 			return fmt.Errorf("%w after %d cycles", ErrTimeout, maxCycles)
+		}
+		if e.cycle >= check {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled at cycle %d: %w", e.cycle, err)
+			}
+			check = e.cycle + ctxCheckInterval
 		}
 		e.Tick()
 	}
@@ -153,6 +175,21 @@ func (e *Engine) Run(n int64) {
 	for i := int64(0); i < n; i++ {
 		e.Tick()
 	}
+}
+
+// RunCtx ticks the engine for n cycles, polling the context every
+// ctxCheckInterval cycles; it returns the context's error if canceled
+// mid-run, leaving the engine at the cycle it stopped on.
+func (e *Engine) RunCtx(ctx context.Context, n int64) error {
+	for i := int64(0); i < n; i++ {
+		if i%ctxCheckInterval == ctxCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled at cycle %d: %w", e.cycle, err)
+			}
+		}
+		e.Tick()
+	}
+	return nil
 }
 
 // Reg is a single hardware register holding a value of type T with a valid

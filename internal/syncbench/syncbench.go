@@ -8,6 +8,7 @@
 package syncbench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -72,6 +73,15 @@ func Measure(kind Kind, cores, rounds int) (Result, error) {
 // kernel sweeps in internal/dse so the declarative and hand-coded paths
 // measure through one implementation.
 func MeasureWith(kind Kind, cfg core.Config, rounds int) (Result, error) {
+	return MeasureWithCtx(context.Background(), kind, cfg, rounds)
+}
+
+// MeasureWithCtx is MeasureWith with cooperative cancellation: a canceled
+// context stops the simulation mid-run and aborts the benchmark
+// goroutines, so a canceled sweep point costs bounded time and leaks
+// nothing. Errors inside the benchmark kernels (e.g. a communicator that
+// fails to build) fail the run with an error rather than panicking.
+func MeasureWithCtx(ctx context.Context, kind Kind, cfg core.Config, rounds int) (Result, error) {
 	cores := cfg.NumCompute
 	if cores < 1 || (kind == FlagSignal && cores < 2) {
 		return Result{}, fmt.Errorf("syncbench: %v needs enough cores, got %d", kind, cores)
@@ -94,7 +104,7 @@ func MeasureWith(kind Kind, cfg core.Config, rounds int) (Result, error) {
 		}
 	}
 	sys.Launch(progs)
-	if err := sys.Run(100_000_000); err != nil {
+	if err := sys.RunCtx(ctx, 100_000_000); err != nil {
 		return Result{}, fmt.Errorf("syncbench %v on %d cores: %w", kind, cores, err)
 	}
 	return Result{
@@ -110,7 +120,10 @@ func runKernel(env *pe.Env, kind Kind, sys *core.System, nodes []int, rank, roun
 	case MessageBarrier:
 		comm, err := empi.New(env, nodes)
 		if err != nil {
-			panic(err)
+			// Fail this rank's core instead of panicking: MeasureWith
+			// returns the error as a per-run failure instead of the
+			// process dying.
+			env.Fail(fmt.Errorf("syncbench: rank %d: %w", rank, err))
 		}
 		comm.Barrier() // align
 		t0[rank] = env.Now()
