@@ -22,6 +22,7 @@ import (
 	"repro/internal/matmul"
 	"repro/internal/noc"
 	"repro/internal/pe"
+	"repro/internal/resultcache"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/syncbench"
@@ -432,6 +433,104 @@ func BenchmarkScenarioPatternSweep(b *testing.B) {
 			b.ReportMetric(float64(len(results)), "points")
 		}
 	}
+}
+
+// BenchmarkResultCacheWarmSweep measures what the result cache buys a
+// rerun: the fig8-quick sweep against a pre-warmed in-memory store, every
+// point a hit (cache effectiveness is reported as hit-rate; the cold cost
+// is BenchmarkFig8's). This is the number BENCH_<date>.json snapshots
+// track as cache.warm_ns.
+func BenchmarkResultCacheWarmSweep(b *testing.B) {
+	root := resultcache.New(resultcache.NewMemoryStore(0))
+	o := dse.Fig8Options(dse.Quick)
+	o.Cache = root
+	// Warm the store once, outside the timed region.
+	cold, err := dse.Sweep(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Cache = root.Scope() // count only the warm reruns
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := dse.Sweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if dse.PointsCSV(warm) != dse.PointsCSV(cold) {
+				b.Fatal("warm-cache sweep differs from cold sweep")
+			}
+			b.ReportMetric(float64(len(warm)), "points")
+		}
+	}
+	st := o.Cache.Stats()
+	b.ReportMetric(100*st.HitRate(), "hit-rate-%")
+}
+
+// BenchmarkResultCacheHit measures the raw per-lookup cost of a store hit
+// — the fixed overhead the cache adds to every already-computed point.
+func BenchmarkResultCacheHit(b *testing.B) {
+	run := func(b *testing.B, store resultcache.Store) {
+		c := resultcache.New(store)
+		key := resultcache.NewKey("bench").Int("i", 1).Sum()
+		payload := []byte(`{"cycles_per_iter":94177,"miss_rate":0.01}`)
+		if _, _, err := c.GetOrCompute(key, func() ([]byte, error) { return payload, nil }); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, hit, err := c.GetOrCompute(key, func() ([]byte, error) { return payload, nil })
+			if err != nil || !hit {
+				b.Fatal("expected a hit")
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, resultcache.NewMemoryStore(0)) })
+	b.Run("disk", func(b *testing.B) {
+		store, err := resultcache.NewDiskStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, store)
+	})
+}
+
+// BenchmarkCacheKeyDerivation measures the canonical key derivation —
+// per-point overhead paid even on misses.
+func BenchmarkCacheKeyDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		resultcache.NewKey("dse/jacobi").
+			Int("n", 30).Int("cores", 8).Int("cache_kb", 16).
+			Str("policy", "WB").Str("variant", "hybrid-full").
+			Int("warmup", 1).Int("measured", 1).Sum()
+	}
+}
+
+// BenchmarkMerkleLedger measures building the run ledger over a
+// fig8-sized result set and diffing two single-point-divergent runs.
+func BenchmarkMerkleLedger(b *testing.B) {
+	leaves := make([][]byte, 168)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf(`{"cores":%d,"cycles":%d}`, i%14+2, 90000+i))
+	}
+	mutated := append([][]byte(nil), leaves...)
+	mutated[84] = []byte(`{"cores":8,"cycles":1}`)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resultcache.NewTree(leaves)
+		}
+	})
+	b.Run("diff", func(b *testing.B) {
+		t1 := resultcache.NewTree(leaves)
+		t2 := resultcache.NewTree(mutated)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d := t1.Diff(t2); len(d) != 1 {
+				b.Fatalf("diff = %v", d)
+			}
+		}
+		b.ReportMetric(float64(t1.DiffComparisons()), "hash-comparisons")
+	})
 }
 
 func reportSpread(b *testing.B, pts []dse.Point) {

@@ -1,0 +1,138 @@
+package main
+
+// The -bench-json mode: measure the reference fig8-quick sweep cache-off,
+// cache-cold and cache-warm, prove the three byte-identical, and write
+// one perfledger snapshot — a point on the repository's committed
+// performance trajectory (BENCH_<date>.json).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/perfledger"
+	"repro/internal/resultcache"
+)
+
+// benchTrajectory runs the reference trajectory and writes the snapshot
+// to path. The reference sweep is fig8-quick (28 jacobi points, the same
+// grid as examples/scenarios/fig8-quick.json and the golden tests).
+func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
+	opts := dse.Fig8Options(dse.Quick)
+
+	run := func(c *resultcache.Cache) (string, time.Duration, error) {
+		o := opts
+		o.Cache = c
+		start := time.Now()
+		pts, err := dse.SweepCtx(ctx, o)
+		if err != nil {
+			return "", 0, err
+		}
+		return dse.PointsCSV(pts), time.Since(start), nil
+	}
+
+	log.Printf("bench-json: fig8-quick cache-off run")
+	offCSV, offDur, err := run(nil)
+	if err != nil {
+		return err
+	}
+	mem := resultcache.New(resultcache.NewMemoryStore(0))
+	log.Printf("bench-json: fig8-quick mem-cache cold run")
+	cold := mem.Scope()
+	coldCSV, coldDur, err := run(cold)
+	if err != nil {
+		return err
+	}
+	log.Printf("bench-json: fig8-quick mem-cache warm rerun")
+	warm := mem.Scope()
+	warmCSV, warmDur, err := run(warm)
+	if err != nil {
+		return err
+	}
+
+	// The determinism contract, enforced before anything is recorded: all
+	// three paths must render byte-identically.
+	if coldCSV != offCSV {
+		return fmt.Errorf("bench-json: cold-cache results differ from cache-off results")
+	}
+	if warmCSV != offCSV {
+		return fmt.Errorf("bench-json: warm-cache results differ from cache-off results")
+	}
+	ws := warm.Stats()
+	if ws.Computes != 0 {
+		return fmt.Errorf("bench-json: warm rerun recomputed %d points", ws.Computes)
+	}
+
+	// The ledger root commits to the reference result rows (one CSV row
+	// per leaf, header excluded): equal roots across snapshots mean the
+	// reference results are still byte-identical.
+	root := csvMerkleRoot(offCSV)
+	points := float64(cold.Stats().Computes)
+	speedup := float64(coldDur) / float64(warmDur)
+	snap := &perfledger.Snapshot{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		CodeVersion: resultcache.CodeVersion,
+		Entries: []perfledger.Entry{
+			{Name: "fig8-quick/cache-off", NsPerOp: float64(offDur.Nanoseconds()), Metrics: map[string]float64{"points": points}},
+			{Name: "fig8-quick/mem-cold", NsPerOp: float64(coldDur.Nanoseconds()), Metrics: map[string]float64{"points": points, "hit_rate": cold.Stats().HitRate()}},
+			{Name: "fig8-quick/mem-warm", NsPerOp: float64(warmDur.Nanoseconds()), Metrics: map[string]float64{"points": points, "hit_rate": ws.HitRate()}},
+		},
+		Cache: perfledger.CacheSummary{
+			ColdNs:  coldDur.Nanoseconds(),
+			WarmNs:  warmDur.Nanoseconds(),
+			Speedup: speedup,
+			HitRate: ws.HitRate(),
+			Hits:    ws.Hits,
+			Misses:  ws.Misses,
+		},
+		MerkleRoot: root,
+	}
+	if err := snap.Write(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: cache-off %s, cold %s, warm %s (%.0fx; hit rate %.0f%%), merkle root %s\n",
+		path, offDur.Round(time.Millisecond), coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond),
+		speedup, 100*ws.HitRate(), root)
+	if speedup < 5 {
+		// The trajectory's reason to exist: a warm rerun must be far
+		// cheaper than a cold one. Tripping this means the cache stopped
+		// paying for itself.
+		return fmt.Errorf("bench-json: warm rerun only %.1fx faster than cold (want >= 5x)", speedup)
+	}
+	return nil
+}
+
+// csvMerkleRoot builds the run-ledger root over a CSV rendering, one
+// non-header row per leaf.
+func csvMerkleRoot(csv string) string {
+	var leaves [][]byte
+	for i, line := range splitLines(csv) {
+		if i == 0 || line == "" {
+			continue
+		}
+		leaves = append(leaves, []byte(line))
+	}
+	return resultcache.NewTree(leaves).Root().String()
+}
+
+// splitLines splits on '\n' without the empty trailing element dance of
+// strings.Split on a trailing newline being surprising at call sites.
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

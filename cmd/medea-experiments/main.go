@@ -75,6 +75,7 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	variants := fs.String("variants", "", "-fig kernel only: comma-separated programming models (default hybrid-full,pure-sm)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	benchJSON := fs.String("bench-json", "", "run the fig8-quick cache trajectory (off/cold/warm, byte-identity enforced) and write a BENCH_<date>.json perf snapshot to this path")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: medea-experiments [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Regenerates the paper's figures and the beyond-paper kernel ablation\n")
@@ -92,6 +93,9 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if (*workloads != "" || *variants != "") && *fig != "kernel" {
 		return fmt.Errorf("-workloads/-variants only apply to -fig kernel (got -fig %s)", *fig)
+	}
+	if *benchJSON != "" {
+		return benchTrajectory(ctx, *benchJSON, stdout)
 	}
 
 	if *cpuprofile != "" {

@@ -114,7 +114,9 @@ func run(args []string, stdout io.Writer) error {
 
 // runOnce submits the scenario, waits for the job, and prints the
 // rendered result — the serve-path equivalent of one medea-scenarios
-// invocation.
+// invocation. The daemon's cache report for the job (hit counts, Merkle
+// ledger root) goes to stderr, so scripts can assert hit-on-resubmit
+// while stdout stays byte-identical to the CLI's rendering.
 func runOnce(c *client, body []byte, format string, stdout io.Writer) error {
 	id, code, err := c.submit(bytes.NewReader(body))
 	if err != nil {
@@ -130,6 +132,18 @@ func runOnce(c *client, body []byte, format string, stdout io.Writer) error {
 	if state != "done" {
 		st, _ := c.statusBody(id)
 		return fmt.Errorf("job %s ended %s: %s", id, state, st)
+	}
+	if st, err := c.status(id); err == nil {
+		if st.Cache != nil {
+			hit := "cache-hit=false"
+			if st.Cache.Hits > 0 && st.Cache.Computes == 0 {
+				hit = "cache-hit=true"
+			}
+			log.Printf("job %s: %s hits=%d misses=%d computes=%d", id, hit, st.Cache.Hits, st.Cache.Misses, st.Cache.Computes)
+		}
+		if st.MerkleRoot != "" {
+			log.Printf("job %s: merkle-root=%s", id, st.MerkleRoot)
+		}
 	}
 	out, err := c.result(id, format)
 	if err != nil {
@@ -305,6 +319,35 @@ func (c *client) submit(body io.Reader) (string, int, error) {
 		io.Copy(io.Discard, resp.Body)
 	}
 	return st.ID, resp.StatusCode, nil
+}
+
+// jobStatus mirrors the status-endpoint fields -once reports on.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Cache *struct {
+		Hits     uint64 `json:"hits"`
+		Misses   uint64 `json:"misses"`
+		Dedups   uint64 `json:"dedups"`
+		Computes uint64 `json:"computes"`
+	} `json:"cache"`
+	MerkleRoot string `json:"merkle_root"`
+}
+
+// status fetches one job's full status snapshot.
+func (c *client) status(id string) (jobStatus, error) {
+	var st jobStatus
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return st, fmt.Errorf("status fetch failed with %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
 }
 
 // waitTerminal polls the job until it reaches a terminal state.

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/noc"
 	"repro/internal/par"
+	"repro/internal/resultcache"
 	"repro/internal/scenario"
 )
 
@@ -69,6 +70,9 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	outPath := fs.String("out", "", "write results to this file instead of stdout (single scenario only)")
 	par := fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS); overrides the scenario file")
 	validate := fs.Bool("validate", false, "load and validate the scenario files without running them")
+	cacheBackend := fs.String("cache", resultcache.BackendOff, "result cache backend: off | mem | disk (disk persists across runs; output is byte-identical either way)")
+	cacheDir := fs.String("cache-dir", "", "directory for -cache disk")
+	cacheBudget := fs.Int64("cache-budget", 0, "byte budget for -cache mem (0 = 64 MiB default)")
 	workloads := fs.Bool("workloads", false, "list the available workloads and exit")
 	patterns := fs.Bool("patterns", false, "list the available traffic patterns and exit")
 	routers := fs.Bool("routers", false, "list the available router algorithms and exit")
@@ -114,6 +118,13 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	if *outPath != "" && fs.NArg() > 1 {
 		return fmt.Errorf("-out only works with a single scenario file")
 	}
+	// One cache across every scenario on the command line, so a batch that
+	// revisits points (overlapping grids, repeated files) dedups across
+	// files too.
+	rcache, err := resultcache.Open(*cacheBackend, *cacheDir, *cacheBudget)
+	if err != nil {
+		return err
+	}
 
 	for _, path := range fs.Args() {
 		s, err := scenario.Load(path)
@@ -127,10 +138,15 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		if *par != 0 {
 			s.Parallelism = *par
 		}
+		s.Cache = rcache.Scope() // per-file counters over the shared store
 		log.Printf("running %s", scenario.Summary(s))
 		results, err := scenario.RunCtx(ctx, s)
 		if err != nil {
 			return err
+		}
+		if s.Cache != nil {
+			// Stderr via log, so -format csv/json stdout stays machine-clean.
+			log.Printf("%s: cache %v; merkle root %s", s.Name, s.Cache.Stats(), scenario.MerkleRoot(results))
 		}
 		f := s.Output
 		if *format != "" {

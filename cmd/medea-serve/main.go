@@ -14,6 +14,13 @@
 //   - Graceful drain: SIGTERM/SIGINT stops admission, finishes or cancels
 //     in-flight jobs within -drain-timeout, then exits 0.
 //
+// The daemon fronts a content-addressed result cache (-cache, default an
+// in-memory LRU; -cache disk -cache-dir D persists across restarts):
+// resubmitting a scenario serves its points from the store instead of
+// resimulating, job status reports per-job hit counts and the run's
+// Merkle ledger root, and rendered results stay byte-identical to a
+// cache-off run.
+//
 // Examples:
 //
 //	medea-serve -addr 127.0.0.1:8080
@@ -36,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/resultcache"
 	"repro/internal/serve"
 )
 
@@ -60,6 +68,9 @@ func run(args []string, stdout io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes (larger gets 413)")
+	cacheBackend := fs.String("cache", resultcache.BackendMemory, "result cache backend: off | mem | disk; resubmitted scenarios become cache hits, surfaced in job status")
+	cacheDir := fs.String("cache-dir", "", "directory for -cache disk (survives daemon restarts)")
+	cacheBudget := fs.Int64("cache-budget", 0, "byte budget for -cache mem (0 = 64 MiB default)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: medea-serve [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Serves scenario simulations over HTTP/JSON (see internal/serve for\n")
@@ -76,12 +87,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	rcache, err := resultcache.Open(*cacheBackend, *cacheDir, *cacheBudget)
+	if err != nil {
+		return err
+	}
 	srv := serve.New(serve.Config{
 		QueueDepth:   *queue,
 		Workers:      *workers,
 		JobTimeout:   *jobTimeout,
 		RetryAfter:   *retryAfter,
 		MaxBodyBytes: *maxBody,
+		Cache:        rcache,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jacobi"
 	"repro/internal/par"
+	"repro/internal/resultcache"
 )
 
 // Point is one evaluated design-space configuration.
@@ -46,6 +47,12 @@ type Options struct {
 	// Parallelism bounds concurrent simulations (each simulation itself
 	// is deterministic and single-threaded); 0 means GOMAXPROCS.
 	Parallelism int
+	// Cache, when non-nil, content-addresses each point's simulation
+	// result: a repeated point is served from the store instead of
+	// resimulated, and concurrent evaluations of the same point collapse
+	// to one run. nil means cache off; results are byte-identical either
+	// way (the differential battery in internal/scenario enforces this).
+	Cache *resultcache.Cache
 }
 
 // PaperCores returns the paper's compute-core range: 2..15 (3..16 total
@@ -118,18 +125,18 @@ func SweepCtx(ctx context.Context, o Options) ([]Point, error) {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
 		spec := jacobi.Spec{N: o.N, Warmup: o.Warmup, Measured: o.Measured}
-		res, err := jacobi.RunCtx(ctx, cfg, spec, o.Variant)
+		val, err := jacobiPointValueCached(ctx, o.Cache, cfg, spec, o.Variant, j.cores, j.kb, j.policy)
 		if err != nil {
 			return err
 		}
 		points[j.idx] = Point{
 			Compute: j.cores, CacheKB: j.kb, Policy: j.policy,
-			CyclesPerIter: res.CyclesPerIteration,
-			MissRate:      res.MissRate,
+			CyclesPerIter: val.CyclesPerIter,
+			MissRate:      val.MissRate,
 			AreaMM2:       Area(j.cores, j.kb, cfg.MPMMUCacheKB),
 			Label:         fmt.Sprintf("%dP_%dk$", j.cores, j.kb),
-			MPMMUBusy:     res.MPMMUBusy,
-			NoCFlits:      res.NoCFlits,
+			MPMMUBusy:     val.MPMMUBusy,
+			NoCFlits:      val.NoCFlits,
 		}
 		return nil
 	}); err != nil {

@@ -19,8 +19,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/jacobi"
-	"repro/internal/matmul"
 	"repro/internal/par"
+	"repro/internal/resultcache"
 	"repro/internal/syncbench"
 )
 
@@ -134,6 +134,9 @@ type KernelOptions struct {
 	Measured int
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
+	// Cache content-addresses each point's simulation result; nil means
+	// cache off (see Options.Cache).
+	Cache *resultcache.Cache
 }
 
 // KernelPoint is one evaluated (kernel, variant, configuration) point.
@@ -246,6 +249,7 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 			Warmup:      o.Warmup,
 			Measured:    o.Measured,
 			Parallelism: o.Parallelism,
+			Cache:       o.Cache,
 		})
 		if err != nil {
 			return nil, err
@@ -291,26 +295,26 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 		}
 		switch o.Kernel {
 		case KernelMatmul:
-			res, err := matmul.RunCtx(ctx, cfg, matmul.Spec{N: o.N}, variant)
+			val, err := matmulPointValueCached(ctx, o.Cache, cfg, o.N, variant, j.cores, j.kb, j.policy)
 			if err != nil {
 				return err
 			}
-			p.Cycles = res.TotalCycles
-			p.TransferCycles = res.TransferCycles
-			p.MPMMUBusy = res.MPMMUBusy
-			p.NoCFlits = res.NoCFlits
+			p.Cycles = val.Cycles
+			p.TransferCycles = val.TransferCycles
+			p.MPMMUBusy = val.MPMMUBusy
+			p.NoCFlits = val.NoCFlits
 		case KernelSyncbench:
 			kind := syncbench.MessageBarrier
 			if variant == jacobi.PureSM {
 				kind = syncbench.LockBarrier
 			}
-			res, err := syncbench.MeasureWithCtx(ctx, kind, cfg, o.Rounds)
+			val, err := syncbenchPointValueCached(ctx, o.Cache, cfg, kind, o.Rounds, j.cores, j.kb, j.policy)
 			if err != nil {
 				return err
 			}
-			p.Cycles = res.CyclesPerRound
-			p.MPMMUBusy = res.MPMMUBusy
-			p.NoCFlits = res.NoCFlits
+			p.Cycles = val.Cycles
+			p.MPMMUBusy = val.MPMMUBusy
+			p.NoCFlits = val.NoCFlits
 		}
 		points[j.idx] = p
 		return nil

@@ -1,0 +1,145 @@
+package dse
+
+// Cache plumbing for the sweep engines: canonical key derivations and the
+// JSON value encodings stored under them. A cached value holds only what
+// the simulator produced — derived quantities (area, labels, speedups)
+// recompute deterministically from the configuration and never enter the
+// store, so a cache hit and a fresh run are indistinguishable byte-for-
+// byte in every rendering.
+//
+// Key domains partition the store by execution path ("dse/jacobi",
+// "dse/matmul", "dse/syncbench", and "scenario/noc" in internal/scenario);
+// each key carries every option the simulation result depends on, and
+// nothing it does not (matmul ignores jacobi's warmup/measured iteration
+// counts, syncbench ignores the problem size), so equivalent points
+// requested through different front doors share one entry.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/jacobi"
+	"repro/internal/matmul"
+	"repro/internal/resultcache"
+	"repro/internal/syncbench"
+)
+
+// jacobiPointValue is the cached simulation output of one jacobi point.
+type jacobiPointValue struct {
+	CyclesPerIter int64   `json:"cycles_per_iter"`
+	MissRate      float64 `json:"miss_rate"`
+	MPMMUBusy     int64   `json:"mpmmu_busy"`
+	NoCFlits      int64   `json:"noc_flits"`
+}
+
+// kernelPointValue is the cached simulation output of one matmul or
+// syncbench point.
+type kernelPointValue struct {
+	Cycles         int64 `json:"cycles"`
+	TransferCycles int64 `json:"transfer_cycles,omitempty"`
+	MPMMUBusy      int64 `json:"mpmmu_busy"`
+	NoCFlits       int64 `json:"noc_flits"`
+}
+
+// jacobiPointKey derives the content address of one jacobi sweep point.
+func jacobiPointKey(spec jacobi.Spec, variant jacobi.Variant, cores, kb int, policy cache.Policy) resultcache.Key {
+	return resultcache.NewKey("dse/jacobi").
+		Int("n", int64(spec.N)).
+		Int("warmup", int64(spec.Warmup)).
+		Int("measured", int64(spec.Measured)).
+		Str("variant", variant.String()).
+		Int("cores", int64(cores)).
+		Int("cache_kb", int64(kb)).
+		Str("policy", policy.String()).
+		Sum()
+}
+
+// jacobiPointValueCached runs (or recalls) one jacobi point through the
+// cache; a nil cache computes directly.
+func jacobiPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, spec jacobi.Spec, variant jacobi.Variant, cores, kb int, policy cache.Policy) (jacobiPointValue, error) {
+	key := jacobiPointKey(spec, variant, cores, kb, policy)
+	buf, _, err := c.GetOrCompute(key, func() ([]byte, error) {
+		res, err := jacobi.RunCtx(ctx, cfg, spec, variant)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(jacobiPointValue{
+			CyclesPerIter: res.CyclesPerIteration,
+			MissRate:      res.MissRate,
+			MPMMUBusy:     res.MPMMUBusy,
+			NoCFlits:      res.NoCFlits,
+		})
+	})
+	var val jacobiPointValue
+	if err != nil {
+		return val, err
+	}
+	if err := json.Unmarshal(buf, &val); err != nil {
+		return val, fmt.Errorf("dse: decoding cached jacobi point %s: %w", key, err)
+	}
+	return val, nil
+}
+
+// matmulPointValueCached runs (or recalls) one matmul point.
+func matmulPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, n int, variant jacobi.Variant, cores, kb int, policy cache.Policy) (kernelPointValue, error) {
+	key := resultcache.NewKey("dse/matmul").
+		Int("n", int64(n)).
+		Str("variant", variant.String()).
+		Int("cores", int64(cores)).
+		Int("cache_kb", int64(kb)).
+		Str("policy", policy.String()).
+		Sum()
+	buf, _, err := c.GetOrCompute(key, func() ([]byte, error) {
+		res, err := matmul.RunCtx(ctx, cfg, matmul.Spec{N: n}, variant)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(kernelPointValue{
+			Cycles:         res.TotalCycles,
+			TransferCycles: res.TransferCycles,
+			MPMMUBusy:      res.MPMMUBusy,
+			NoCFlits:       res.NoCFlits,
+		})
+	})
+	var val kernelPointValue
+	if err != nil {
+		return val, err
+	}
+	if err := json.Unmarshal(buf, &val); err != nil {
+		return val, fmt.Errorf("dse: decoding cached matmul point %s: %w", key, err)
+	}
+	return val, nil
+}
+
+// syncbenchPointValueCached runs (or recalls) one syncbench point.
+func syncbenchPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, kind syncbench.Kind, rounds, cores, kb int, policy cache.Policy) (kernelPointValue, error) {
+	key := resultcache.NewKey("dse/syncbench").
+		Str("kind", kind.String()).
+		Int("rounds", int64(rounds)).
+		Int("cores", int64(cores)).
+		Int("cache_kb", int64(kb)).
+		Str("policy", policy.String()).
+		Sum()
+	buf, _, err := c.GetOrCompute(key, func() ([]byte, error) {
+		res, err := syncbench.MeasureWithCtx(ctx, kind, cfg, rounds)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(kernelPointValue{
+			Cycles:    res.CyclesPerRound,
+			MPMMUBusy: res.MPMMUBusy,
+			NoCFlits:  res.NoCFlits,
+		})
+	})
+	var val kernelPointValue
+	if err != nil {
+		return val, err
+	}
+	if err := json.Unmarshal(buf, &val); err != nil {
+		return val, fmt.Errorf("dse: decoding cached syncbench point %s: %w", key, err)
+	}
+	return val, nil
+}

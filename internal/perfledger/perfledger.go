@@ -1,0 +1,127 @@
+// Package perfledger records the repository's performance trajectory as
+// committed BENCH_<date>.json snapshots: a dated, schema-versioned record
+// of benchmark timings, result-cache effectiveness and the Merkle ledger
+// root of the reference sweep. Each snapshot is one point on the
+// trajectory; diffing two snapshots answers "did the simulator get
+// faster, did the cache keep paying, did the reference results change?"
+// without rerunning anything.
+//
+// cmd/medea-experiments -bench-json writes snapshots; CI emits one per
+// run as an artifact, and a current one is committed at the repo root so
+// the trajectory survives in history.
+package perfledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema identifies the snapshot format; bump on incompatible change.
+const Schema = "medea-bench/v1"
+
+// Entry is one timed benchmark in a snapshot.
+type Entry struct {
+	// Name identifies the benchmark, e.g. "fig8-quick/mem-warm".
+	Name string `json:"name"`
+	// NsPerOp is the headline wall-clock cost of one operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics carries benchmark-specific extras (hit rates, point counts).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// CacheSummary records the result cache's effectiveness on the reference
+// trajectory: a cold (empty-store) run against a warm rerun of the same
+// sweep.
+type CacheSummary struct {
+	ColdNs int64 `json:"cold_ns"`
+	WarmNs int64 `json:"warm_ns"`
+	// Speedup is cold/warm wall clock: how much the cache buys a rerun.
+	Speedup float64 `json:"speedup"`
+	// HitRate is the warm rerun's cache hit rate (1 = fully served).
+	HitRate float64 `json:"hit_rate"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+}
+
+// Snapshot is one point on the performance trajectory.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	// Date is the snapshot day, YYYY-MM-DD (also in the file name).
+	Date string `json:"date"`
+	// GoVersion stamps the toolchain (runtime.Version()).
+	GoVersion string `json:"go_version"`
+	// CodeVersion is resultcache.CodeVersion: the simulation-semantics
+	// stamp. Two snapshots with equal CodeVersion and different MerkleRoot
+	// indicate a reproducibility break.
+	CodeVersion string `json:"code_version"`
+	// Entries are the timed benchmarks, sorted by name.
+	Entries []Entry `json:"entries"`
+	// Cache summarizes cold-vs-warm on the reference sweep.
+	Cache CacheSummary `json:"cache"`
+	// MerkleRoot is the run ledger root of the reference sweep's result
+	// set (hex); equal roots across snapshots mean the reference results
+	// are still byte-identical.
+	MerkleRoot string `json:"merkle_root"`
+}
+
+// FileName returns the conventional snapshot name for a date:
+// "BENCH_<date>.json".
+func FileName(date string) string { return "BENCH_" + date + ".json" }
+
+// Validate checks the invariants consumers rely on.
+func (s *Snapshot) Validate() error {
+	if s.Schema != Schema {
+		return fmt.Errorf("perfledger: schema %q, want %q", s.Schema, Schema)
+	}
+	if s.Date == "" {
+		return fmt.Errorf("perfledger: snapshot has no date")
+	}
+	if s.MerkleRoot == "" {
+		return fmt.Errorf("perfledger: snapshot has no merkle root")
+	}
+	for _, e := range s.Entries {
+		if e.Name == "" {
+			return fmt.Errorf("perfledger: entry with empty name")
+		}
+		if e.NsPerOp < 0 {
+			return fmt.Errorf("perfledger: entry %s has negative ns/op", e.Name)
+		}
+	}
+	return nil
+}
+
+// Write validates and writes the snapshot as stable, indented JSON
+// (entries sorted by name, trailing newline) so committed snapshots diff
+// cleanly.
+func (s *Snapshot) Write(path string) error {
+	if s.Schema == "" {
+		s.Schema = Schema
+	}
+	sort.Slice(s.Entries, func(i, j int) bool { return s.Entries[i].Name < s.Entries[j].Name })
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perfledger: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("perfledger: %s: %w", path, err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,77 @@
+package perfledger
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Date:        "2026-08-08",
+		GoVersion:   "go1.24",
+		CodeVersion: "medea-2026.08",
+		Entries: []Entry{
+			{Name: "fig8-quick/mem-warm", NsPerOp: 1e6, Metrics: map[string]float64{"points": 28}},
+			{Name: "fig8-quick/cache-off", NsPerOp: 5e9},
+		},
+		Cache:      CacheSummary{ColdNs: 5e9, WarmNs: 1e6, Speedup: 5000, HitRate: 1, Hits: 28},
+		MerkleRoot: strings.Repeat("ab", 32),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName("2026-08-08"))
+	s := sample()
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema {
+		t.Fatalf("schema %q", got.Schema)
+	}
+	// Write sorts entries by name; compare against the sorted original.
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+	if got.Entries[0].Name != "fig8-quick/cache-off" {
+		t.Fatalf("entries not sorted: %q first", got.Entries[0].Name)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Snapshot){
+		"empty date":    func(s *Snapshot) { s.Date = "" },
+		"no root":       func(s *Snapshot) { s.MerkleRoot = "" },
+		"unnamed entry": func(s *Snapshot) { s.Entries[0].Name = "" },
+		"negative ns":   func(s *Snapshot) { s.Entries[0].NsPerOp = -1 },
+	}
+	for name, mutate := range cases {
+		s := sample()
+		s.Schema = Schema
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid snapshot", name)
+		}
+	}
+}
+
+func TestFileName(t *testing.T) {
+	if got := FileName("2026-08-08"); got != "BENCH_2026-08-08.json" {
+		t.Fatalf("FileName = %q", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := sample().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}

@@ -1,0 +1,113 @@
+package resultcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// diskMagic versions the on-disk entry format; a format change invalidates
+// old entries by turning them into misses.
+var diskMagic = []byte("MEDEARC1")
+
+// diskHeaderSize is the fixed prefix: magic plus a SHA-256 of the payload.
+const diskHeaderSize = 8 + sha256.Size
+
+// DiskStore is a Store persisted as one file per entry (named by the
+// key's hex) under a directory, surviving process restarts so warm
+// reruns of a sweep cost file reads instead of simulations.
+//
+// Every entry carries a checksum of its payload. A corrupted, truncated
+// or foreign file — a crash mid-write, bit rot, a stray file with the
+// right name — fails the checksum and reads as a miss, never as a wrong
+// hit and never as an error the sweep would see: the point recomputes
+// and the bad entry is overwritten. Writes go through a temp file and an
+// atomic rename, so concurrent processes sharing a directory see either
+// the old entry or the new one, not a torn one.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if needed) an on-disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: opening disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+func (d *DiskStore) path(key Key) string {
+	return filepath.Join(d.dir, key.String()+".entry")
+}
+
+// Get implements Store. Unreadable, truncated or checksum-failing
+// entries are misses (the failing file is best-effort removed so it is
+// rewritten cleanly on the next Put).
+func (d *DiskStore) Get(key Key) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := decodeEntry(data)
+	if !ok {
+		os.Remove(d.path(key))
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put implements Store: temp file + rename, best-effort (an IO error
+// just leaves the entry absent).
+func (d *DiskStore) Put(key Key, val []byte) {
+	sum := sha256.Sum256(val)
+	buf := make([]byte, 0, diskHeaderSize+len(val))
+	buf = append(buf, diskMagic...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, val...)
+
+	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, d.path(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Len returns the number of entry files currently present.
+func (d *DiskStore) Len() int {
+	matches, err := filepath.Glob(filepath.Join(d.dir, "*.entry"))
+	if err != nil {
+		return 0
+	}
+	return len(matches)
+}
+
+// decodeEntry validates one entry file and returns its payload. It must
+// never panic, whatever the bytes are (fuzzed in FuzzDiskEntry).
+func decodeEntry(data []byte) ([]byte, bool) {
+	if len(data) < diskHeaderSize {
+		return nil, false
+	}
+	if !bytes.Equal(data[:len(diskMagic)], diskMagic) {
+		return nil, false
+	}
+	payload := data[diskHeaderSize:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[len(diskMagic):diskHeaderSize]) {
+		return nil, false
+	}
+	return payload, true
+}

@@ -1,0 +1,160 @@
+package resultcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diskStore(t *testing.T) *DiskStore {
+	t.Helper()
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := diskStore(t)
+	key := testKey(1)
+	d.Put(key, []byte("hello"))
+	v, ok := d.Get(key)
+	if !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("round trip: v=%q ok=%v", v, ok)
+	}
+	if _, ok := d.Get(testKey(2)); ok {
+		t.Fatal("absent key reported present")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len=%d, want 1", d.Len())
+	}
+}
+
+// TestDiskSurvivesReopen: the whole point of the disk backend — a second
+// process (or rerun) over the same directory sees the entries.
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Put(testKey(1), []byte("persisted"))
+	d2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := d2.Get(testKey(1))
+	if !ok || string(v) != "persisted" {
+		t.Fatalf("reopen: v=%q ok=%v", v, ok)
+	}
+}
+
+// TestDiskCorruptionIsMiss: flip one payload byte; the checksum must turn
+// the entry into a miss (and clean up the bad file), never a wrong hit.
+func TestDiskCorruptionIsMiss(t *testing.T) {
+	d := diskStore(t)
+	key := testKey(1)
+	d.Put(key, []byte("pristine"))
+
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := d.Get(key); ok {
+		t.Fatalf("corrupted entry served as hit: %q", v)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupted entry file was not removed")
+	}
+	// The store heals on the next Put.
+	d.Put(key, []byte("pristine"))
+	if v, ok := d.Get(key); !ok || string(v) != "pristine" {
+		t.Fatalf("store did not heal after corruption: v=%q ok=%v", v, ok)
+	}
+}
+
+// TestDiskTruncationIsMiss: every possible truncation point — inside the
+// magic, inside the checksum, inside the payload — must read as a miss.
+func TestDiskTruncationIsMiss(t *testing.T) {
+	d := diskStore(t)
+	key := testKey(1)
+	d.Put(key, []byte("some payload bytes"))
+	full, err := os.ReadFile(d.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if err := os.WriteFile(d.path(key), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := d.Get(key); ok {
+			t.Fatalf("entry truncated to %d/%d bytes served as hit: %q", cut, len(full), v)
+		}
+	}
+}
+
+// TestDiskForeignFileIsMiss: a stray non-entry file with the right name
+// (wrong magic) is a miss, not a crash.
+func TestDiskForeignFileIsMiss(t *testing.T) {
+	d := diskStore(t)
+	key := testKey(1)
+	if err := os.WriteFile(d.path(key), []byte("not an entry at all, definitely longer than the header would be"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(key); ok {
+		t.Fatal("foreign file served as hit")
+	}
+}
+
+// TestDiskCachedSweepIdentical: end-to-end through the Cache — a
+// disk-backed warm rerun returns the exact bytes of the cold run.
+func TestDiskCachedSweepIdentical(t *testing.T) {
+	d := diskStore(t)
+	c := New(d)
+	var cold [][]byte
+	for i := 0; i < 8; i++ {
+		v, hit, err := c.GetOrCompute(testKey(i), func() ([]byte, error) {
+			return bytes.Repeat([]byte{byte(i)}, 33), nil
+		})
+		if err != nil || hit {
+			t.Fatalf("cold %d: hit=%v err=%v", i, hit, err)
+		}
+		cold = append(cold, append([]byte(nil), v...))
+	}
+	warm := New(d) // fresh cache over the same directory, like a rerun
+	for i := 0; i < 8; i++ {
+		v, hit, err := warm.GetOrCompute(testKey(i), func() ([]byte, error) {
+			t.Errorf("warm %d recomputed", i)
+			return nil, nil
+		})
+		if err != nil || !hit || !bytes.Equal(v, cold[i]) {
+			t.Fatalf("warm %d: hit=%v err=%v identical=%v", i, hit, err, bytes.Equal(v, cold[i]))
+		}
+	}
+	if st := warm.Stats(); st.HitRate() != 1 {
+		t.Fatalf("warm hit rate %.2f, want 1", st.HitRate())
+	}
+}
+
+// TestDiskNoTempLeftovers: Put must not leave temp files behind.
+func TestDiskNoTempLeftovers(t *testing.T) {
+	d := diskStore(t)
+	for i := 0; i < 5; i++ {
+		d.Put(testKey(i), []byte("v"))
+	}
+	tmps, err := filepath.Glob(filepath.Join(d.Dir(), "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+}

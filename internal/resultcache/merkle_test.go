@@ -1,0 +1,141 @@
+package resultcache
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"testing"
+)
+
+func leavesN(n int, mutate map[int]string) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		s := fmt.Sprintf("leaf-%d", i)
+		if m, ok := mutate[i]; ok {
+			s = m
+		}
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestMerkleRootDeterministic(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 28, 100} {
+		a := NewTree(leavesN(n, nil))
+		b := NewTree(leavesN(n, nil))
+		if a.Root() != b.Root() {
+			t.Fatalf("n=%d: same leaves, different roots", n)
+		}
+		if a.NumLeaves() != n {
+			t.Fatalf("n=%d: NumLeaves=%d", n, a.NumLeaves())
+		}
+	}
+}
+
+func TestMerkleRootSensitive(t *testing.T) {
+	base := NewTree(leavesN(28, nil)).Root()
+	seen := map[Key]int{base: -1}
+	for i := 0; i < 28; i++ {
+		r := NewTree(leavesN(28, map[int]string{i: "mutated"})).Root()
+		if prev, dup := seen[r]; dup {
+			t.Fatalf("mutating leaf %d collides with %d", i, prev)
+		}
+		seen[r] = i
+	}
+	// Order matters: a permutation is a different run.
+	swapped := leavesN(28, nil)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if NewTree(swapped).Root() == base {
+		t.Fatal("leaf swap did not change the root")
+	}
+	// Leaf-count extension matters.
+	if NewTree(leavesN(29, nil)).Root() == base {
+		t.Fatal("appending a leaf did not change the root")
+	}
+}
+
+// TestMerkleDomainSeparation: a single leaf whose bytes are exactly a
+// node's child-hash concatenation must not hash to that node.
+func TestMerkleDomainSeparation(t *testing.T) {
+	two := NewTree(leavesN(2, nil))
+	forged := append(append([]byte(nil), two.levels[0][0][:]...), two.levels[0][1][:]...)
+	if NewTree([][]byte{forged}).Root() == two.Root() {
+		t.Fatal("leaf/node domain separation failed")
+	}
+}
+
+func TestMerkleDiff(t *testing.T) {
+	cases := []struct {
+		n, m   int
+		mutate map[int]string
+		want   []int
+	}{
+		{28, 28, nil, nil},
+		{28, 28, map[int]string{0: "x"}, []int{0}},
+		{28, 28, map[int]string{27: "x"}, []int{27}},
+		{28, 28, map[int]string{3: "x", 17: "y"}, []int{3, 17}},
+		{1, 1, map[int]string{0: "x"}, []int{0}},
+		{5, 5, map[int]string{0: "a", 1: "b", 2: "c", 3: "d", 4: "e"}, []int{0, 1, 2, 3, 4}},
+		// Different leaf counts: the tail is all reported.
+		{28, 30, nil, []int{28, 29}},
+		{30, 28, map[int]string{2: "x"}, []int{2, 28, 29}},
+		{0, 3, nil, []int{0, 1, 2}},
+		{0, 0, nil, nil},
+	}
+	for _, tc := range cases {
+		a := NewTree(leavesN(tc.n, nil))
+		b := NewTree(leavesN(tc.m, tc.mutate))
+		got := a.Diff(b)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Diff(n=%d,m=%d,mut=%v) = %v, want %v", tc.n, tc.m, tc.mutate, got, tc.want)
+		}
+		// Diff is symmetric in which leaves differ.
+		if rev := b.Diff(a); !reflect.DeepEqual(rev, tc.want) {
+			t.Errorf("reverse Diff(n=%d,m=%d) = %v, want %v", tc.m, tc.n, rev, tc.want)
+		}
+	}
+}
+
+// TestMerkleDiffLogarithmic pins the O(d log n) claim: a single differing
+// leaf among n costs at most ~2*ceil(log2 n)+1 node comparisons, not n.
+func TestMerkleDiffLogarithmic(t *testing.T) {
+	for _, n := range []int{64, 1000, 4096} {
+		a := NewTree(leavesN(n, nil))
+		b := NewTree(leavesN(n, map[int]string{n / 2: "x"}))
+		got := a.Diff(b)
+		if !reflect.DeepEqual(got, []int{n / 2}) {
+			t.Fatalf("n=%d: Diff=%v", n, got)
+		}
+		depth := bits.Len(uint(n - 1))
+		bound := 2*depth + 1
+		if c := a.DiffComparisons(); c > bound {
+			t.Errorf("n=%d: single-leaf diff cost %d comparisons, O(log n) bound is %d", n, c, bound)
+		}
+	}
+	// Identical trees: root comparison(s) only — strictly fewer than n.
+	a := NewTree(leavesN(4096, nil))
+	b := NewTree(leavesN(4096, nil))
+	if diff := a.Diff(b); len(diff) != 0 {
+		t.Fatalf("identical trees diff: %v", diff)
+	}
+	if c := a.DiffComparisons(); c != 1 {
+		t.Errorf("identical trees cost %d comparisons, want 1 (root only)", c)
+	}
+}
+
+// TestMerkleEmptyRoot: the empty tree has a well-defined root distinct
+// from any nonempty tree's.
+func TestMerkleEmptyRoot(t *testing.T) {
+	e1 := NewTree(nil).Root()
+	e2 := NewTree([][]byte{}).Root()
+	if e1 != e2 {
+		t.Fatal("empty roots differ")
+	}
+	if e1 == NewTree(leavesN(1, nil)).Root() {
+		t.Fatal("empty root collides with one-leaf root")
+	}
+	// An empty leaf is not the same as no leaves.
+	if e1 == NewTree([][]byte{nil}).Root() {
+		t.Fatal("empty root collides with single-empty-leaf root")
+	}
+}

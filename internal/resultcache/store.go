@@ -1,0 +1,119 @@
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a pluggable result byte store. Implementations must be safe
+// for concurrent use and are allowed to lose entries at any time (LRU
+// eviction, corruption, truncation): a lost entry is a miss and the
+// caller recomputes. A Store must never return bytes that were not
+// stored under the key — the disk backend enforces this with per-entry
+// checksums.
+type Store interface {
+	// Get returns the bytes stored under key, or ok=false on a miss. The
+	// returned slice must not be mutated by the caller.
+	Get(key Key) ([]byte, bool)
+	// Put stores val under key, best-effort: a store is free to drop the
+	// entry (budget exceeded, IO error). Put copies val.
+	Put(key Key, val []byte)
+}
+
+// MemoryStore is an in-memory LRU Store with a byte budget: inserting
+// past the budget evicts least-recently-used entries until the new entry
+// fits. An entry larger than the whole budget is not stored at all.
+type MemoryStore struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[Key]*list.Element
+
+	evictions uint64
+}
+
+type memEntry struct {
+	key Key
+	val []byte
+}
+
+// DefaultMemoryBudget is the MemoryStore budget when none is given:
+// 64 MiB, thousands of sweep points at typical entry sizes.
+const DefaultMemoryBudget = 64 << 20
+
+// NewMemoryStore builds an LRU store holding at most budget bytes of
+// values (budget <= 0 means DefaultMemoryBudget).
+func NewMemoryStore(budget int64) *MemoryStore {
+	if budget <= 0 {
+		budget = DefaultMemoryBudget
+	}
+	return &MemoryStore{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[Key]*list.Element),
+	}
+}
+
+// Get implements Store, marking the entry most recently used.
+func (m *MemoryStore) Get(key Key) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+// Put implements Store, evicting LRU entries to fit the budget.
+func (m *MemoryStore) Put(key Key, val []byte) {
+	if int64(len(val)) > m.budget {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		e := el.Value.(*memEntry)
+		m.used += int64(len(val)) - int64(len(e.val))
+		e.val = append([]byte(nil), val...)
+		m.ll.MoveToFront(el)
+	} else {
+		e := &memEntry{key: key, val: append([]byte(nil), val...)}
+		m.items[key] = m.ll.PushFront(e)
+		m.used += int64(len(val))
+	}
+	for m.used > m.budget {
+		back := m.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*memEntry)
+		m.ll.Remove(back)
+		delete(m.items, e.key)
+		m.used -= int64(len(e.val))
+		m.evictions++
+	}
+}
+
+// Len returns the number of entries currently held.
+func (m *MemoryStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// UsedBytes returns the bytes of values currently held.
+func (m *MemoryStore) UsedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Evictions returns how many entries the byte budget has pushed out.
+func (m *MemoryStore) Evictions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
+}

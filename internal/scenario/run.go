@@ -2,12 +2,14 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/dse"
 	"repro/internal/noc"
 	"repro/internal/par"
+	"repro/internal/resultcache"
 )
 
 // Result is one evaluated sweep point. NoC-synthetic points fill the
@@ -167,7 +169,7 @@ func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	if err := par.ForEachCtx(ctx, len(jobs), s.Parallelism, func(i int) error {
 		j := jobs[i]
-		r, err := runNoCPoint(ctx, j.topo, c, j.router, j.pattern, j.rate, j.seed)
+		r, err := runNoCPoint(ctx, s.Cache, j.topo, c, j.router, j.pattern, j.rate, j.seed)
 		if err != nil {
 			return err
 		}
@@ -180,10 +182,45 @@ func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 	return results, nil
 }
 
+// nocPointValue is the cached measurement of one noc-synthetic point: the
+// raw noc.Measure metrics only; axis labels reattach from the job.
+type nocPointValue struct {
+	Cycles         int64   `json:"cycles"`
+	Delivered      int64   `json:"delivered"`
+	Throughput     float64 `json:"throughput"`
+	MeanLatency    float64 `json:"mean_latency"`
+	P99Latency     float64 `json:"p99_latency"`
+	DeflectionRate float64 `json:"deflection_rate"`
+	PeakBuffer     int     `json:"peak_buffer"`
+}
+
+// nocPointKey derives the content address of one noc-synthetic point from
+// every input the measurement depends on (the defaults are resolved first,
+// so an explicit "measure_cycles": 5000 keys identically to the default).
+func nocPointKey(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed, measure int64) resultcache.Key {
+	b := resultcache.NewKey("scenario/noc").
+		Str("topology", topo.Kind().String()).
+		Int("width", int64(c.Width)).
+		Int("height", int64(c.Height)).
+		Str("router", router.String()).
+		Str("pattern", pattern.String()).
+		Float("rate", rate).
+		Int("seed", seed).
+		Int("hotspot_node", int64(c.HotspotNode)).
+		Int("queue_cap", int64(c.QueueCap)).
+		Int("warmup_cycles", c.WarmupCycles).
+		Int("measure_cycles", measure)
+	if c.Burst != nil {
+		b.Float("burst_mean_on", c.Burst.MeanOn).Float("burst_mean_off", c.Burst.MeanOff)
+	}
+	return b.Sum()
+}
+
 // runNoCPoint simulates one (topology, router, pattern, rate, seed) point
 // through noc.MeasureCtx, the execution path shared with
-// dse.RouterAblation, dse.TopologyAblation and cmd/medea-noc.
-func runNoCPoint(ctx context.Context, topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) (Result, error) {
+// dse.RouterAblation, dse.TopologyAblation and cmd/medea-noc, recalling it
+// from the result cache when one is attached.
+func runNoCPoint(ctx context.Context, rc *resultcache.Cache, topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) (Result, error) {
 	measure := c.MeasureCycles
 	if measure == 0 {
 		measure = 5000
@@ -192,21 +229,40 @@ func runNoCPoint(ctx context.Context, topo noc.Topology, c *NoCConfig, router no
 	if c.Burst != nil {
 		burst = &noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}
 	}
-	m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{
-		Router: router,
-		Traffic: noc.TrafficConfig{
-			Pattern:     pattern,
-			Rate:        rate,
-			HotspotNode: c.HotspotNode,
-			QueueCap:    c.QueueCap,
-			Burst:       burst,
-		},
-		Warmup:  c.WarmupCycles,
-		Measure: measure,
-		Seed:    seed,
+	key := nocPointKey(topo, c, router, pattern, rate, seed, measure)
+	buf, _, err := rc.GetOrCompute(key, func() ([]byte, error) {
+		m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{
+			Router: router,
+			Traffic: noc.TrafficConfig{
+				Pattern:     pattern,
+				Rate:        rate,
+				HotspotNode: c.HotspotNode,
+				QueueCap:    c.QueueCap,
+				Burst:       burst,
+			},
+			Warmup:  c.WarmupCycles,
+			Measure: measure,
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(nocPointValue{
+			Cycles:         m.Cycles,
+			Delivered:      m.Delivered,
+			Throughput:     m.Throughput,
+			MeanLatency:    m.MeanLatency,
+			P99Latency:     m.P99Latency,
+			DeflectionRate: m.DeflectionRate,
+			PeakBuffer:     m.PeakBuffer,
+		})
 	})
 	if err != nil {
 		return Result{}, err
+	}
+	var m nocPointValue
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return Result{}, fmt.Errorf("scenario: decoding cached noc point %s: %w", key, err)
 	}
 	return Result{
 		Workload:       WorkloadNoC.String(),

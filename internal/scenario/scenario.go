@@ -44,6 +44,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/jacobi"
 	"repro/internal/noc"
+	"repro/internal/resultcache"
 )
 
 // Output format names for Scenario.Output and the CLI -format flag.
@@ -92,6 +93,14 @@ type Scenario struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Output is the default rendering: "table" (default), "csv" or "json".
 	Output string `json:"output,omitempty"`
+
+	// Cache, when non-nil, content-addresses every point's simulation
+	// result (see resultcache): repeated points are served from the store
+	// and concurrent duplicates collapse to one run. It is runtime state,
+	// not part of the declarative format — callers (cmd/medea-scenarios,
+	// internal/serve) attach it after Load. nil means cache off; rendered
+	// output is byte-identical either way.
+	Cache *resultcache.Cache `json:"-"`
 }
 
 // NoCConfig describes a synthetic-traffic experiment on the bare network.
@@ -532,6 +541,7 @@ func (s *Scenario) kernelSweepOptions(k dse.Kernel) (dse.KernelOptions, error) {
 		Warmup:      c.Warmup,
 		Measured:    c.Measured,
 		Parallelism: s.Parallelism,
+		Cache:       s.Cache,
 	}, nil
 }
 

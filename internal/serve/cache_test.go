@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/resultcache"
+	"repro/internal/scenario"
+)
+
+// TestResubmitIsCacheHit pins the daemon's cache contract end to end with
+// the real runner: resubmitting an identical scenario serves every point
+// from the cache, the job status says so, and the result bytes and run
+// ledger root match the first run exactly.
+func TestResubmitIsCacheHit(t *testing.T) {
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: 2,
+		Cache:      resultcache.New(resultcache.NewMemoryStore(0)),
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	submit := func(name string) JobStatus {
+		st, err := s.Submit(testScenario(t, name))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		return waitState(t, s, st.ID, StateDone)
+	}
+	// The same scenario twice: two distinct jobs, one set of simulations.
+	first := submit("cache-rerun")
+	second := submit("cache-rerun")
+
+	if first.Cache == nil || second.Cache == nil {
+		t.Fatalf("job status missing cache stats: first %+v, second %+v", first.Cache, second.Cache)
+	}
+	if first.Cache.Hits != 0 || first.Cache.Computes == 0 {
+		t.Errorf("first job stats %v, want cold (computes only)", *first.Cache)
+	}
+	if second.Cache.Hits == 0 || second.Cache.Computes != 0 {
+		t.Errorf("resubmit stats %v, want pure hits", *second.Cache)
+	}
+
+	if first.MerkleRoot == "" || first.MerkleRoot != second.MerkleRoot {
+		t.Errorf("merkle roots differ: first %q, second %q", first.MerkleRoot, second.MerkleRoot)
+	}
+
+	out1, _, err := s.Result(first.ID, scenario.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := s.Result(second.ID, scenario.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Errorf("cached rerun rendered differently:\n--- first ---\n%s--- second ---\n%s", out1, out2)
+	}
+}
+
+// TestCacheOffJobStatus proves a daemon without a cache behaves exactly
+// as before: no cache stats in status, results still served.
+func TestCacheOffJobStatus(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	st, err := s.Submit(testScenario(t, "no-cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, st.ID, StateDone)
+	if done.Cache != nil {
+		t.Errorf("cache-off job reported cache stats: %+v", *done.Cache)
+	}
+	if done.MerkleRoot == "" {
+		t.Error("done job has no merkle root")
+	}
+}

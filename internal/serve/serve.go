@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resultcache"
 	"repro/internal/scenario"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// Runner executes jobs (default scenario.RunCtx).
 	Runner Runner
+	// Cache is the daemon-wide result cache (nil = off). Each job runs
+	// under its own resultcache scope of it, so a resubmitted scenario is
+	// served from the store — job status reports the per-job hit counts —
+	// while deduplication and the byte budget stay daemon-global.
+	Cache *resultcache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -124,27 +130,43 @@ type JobStatus struct {
 	Points int `json:"points"`
 	// Error carries the failure or cancellation cause once terminal.
 	Error string `json:"error,omitempty"`
+	// Cache is this job's result-cache counters (absent when the daemon
+	// runs without a cache): live while running, final once terminal. A
+	// resubmitted scenario shows hits == points.
+	Cache *resultcache.Stats `json:"cache,omitempty"`
+	// MerkleRoot is the run ledger root over the job's result set, set
+	// once done: one content address for the whole run, equal roots mean
+	// point-for-point identical results.
+	MerkleRoot string `json:"merkle_root,omitempty"`
 }
 
 // job is the server-internal record; all fields below mu-guarded state
 // are written under Server.mu.
 type job struct {
-	id       string
-	scenario *scenario.Scenario
-	state    State
-	err      string
-	results  []scenario.Result
-	cancel   context.CancelFunc // non-nil exactly while running
+	id         string
+	scenario   *scenario.Scenario
+	state      State
+	err        string
+	results    []scenario.Result
+	cancel     context.CancelFunc // non-nil exactly while running
+	cache      *resultcache.Cache // per-job scope; nil when the daemon has no cache
+	merkleRoot string             // set with StateDone
 }
 
 func (j *job) status() JobStatus {
-	return JobStatus{
-		ID:       j.id,
-		State:    j.state,
-		Scenario: j.scenario.Name,
-		Points:   j.scenario.NumPoints(),
-		Error:    j.err,
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Scenario:   j.scenario.Name,
+		Points:     j.scenario.NumPoints(),
+		Error:      j.err,
+		MerkleRoot: j.merkleRoot,
 	}
+	if j.cache != nil {
+		stats := j.cache.Stats()
+		st.Cache = &stats
+	}
+	return st
 }
 
 // Server owns the bounded queue, the worker pool and the job table. Use
@@ -352,6 +374,12 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = StateRunning
 	j.cancel = cancel
+	// The job gets its own scope of the daemon cache: shared store and
+	// in-flight table (cross-job deduplication), per-job counters for the
+	// status endpoint. On a cacheless daemon both stay nil and the runner
+	// sees the documented cache-off mode.
+	j.cache = s.cfg.Cache.Scope()
+	j.scenario.Cache = j.cache
 	s.mu.Unlock()
 	defer cancel()
 
@@ -364,6 +392,7 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		j.state = StateDone
 		j.results = results
+		j.merkleRoot = scenario.MerkleRoot(results)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Job deadline, DELETE, or drain-deadline cancellation.
 		j.state = StateCanceled

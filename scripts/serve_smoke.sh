@@ -46,12 +46,34 @@ echo "medea-serve up on $addr"
 
 # Determinism: the served result must match the CLI byte-for-byte.
 "$workdir/medea-scenarios" "$scenario" >"$workdir/cli.out"
-"$workdir/medea-loadgen" -addr "$addr" -scenario "$scenario" -once >"$workdir/served.out"
+"$workdir/medea-loadgen" -addr "$addr" -scenario "$scenario" -once \
+    >"$workdir/served.out" 2>"$workdir/loadgen1.log"
 if ! cmp "$workdir/cli.out" "$workdir/served.out"; then
     echo "served output differs from the CLI for $scenario" >&2
     exit 1
 fi
 echo "served output byte-identical to the CLI for $scenario"
+
+# Result cache: resubmitting the same scenario must be a pure cache hit
+# (medea-serve defaults to -cache mem), byte-identical to the first run.
+"$workdir/medea-loadgen" -addr "$addr" -scenario "$scenario" -once \
+    >"$workdir/served2.out" 2>"$workdir/loadgen2.log"
+if ! cmp "$workdir/served.out" "$workdir/served2.out"; then
+    echo "resubmitted output differs from the first run for $scenario" >&2
+    exit 1
+fi
+if ! grep -q 'cache-hit=true' "$workdir/loadgen2.log"; then
+    echo "resubmit was not a cache hit:" >&2
+    cat "$workdir/loadgen2.log" >&2
+    exit 1
+fi
+root1=$(sed -n 's/.*merkle-root=//p' "$workdir/loadgen1.log")
+root2=$(sed -n 's/.*merkle-root=//p' "$workdir/loadgen2.log")
+if [ -z "$root1" ] || [ "$root1" != "$root2" ]; then
+    echo "merkle roots differ across resubmission: '$root1' vs '$root2'" >&2
+    exit 1
+fi
+echo "resubmission served from cache (merkle root $root1)"
 
 # Input hardening: a closed-loop burst with ~30% hostile submissions.
 # loadgen fails (and so does this script) if the daemon stops answering.
