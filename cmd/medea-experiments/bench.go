@@ -1,9 +1,10 @@
 package main
 
 // The -bench-json mode: measure the reference fig8-quick sweep cache-off,
-// cache-cold and cache-warm, prove the three byte-identical, and write
-// one perfledger snapshot — a point on the repository's committed
-// performance trajectory (BENCH_<date>.json).
+// cache-cold and cache-warm, prove the three byte-identical, measure a
+// low-load NoC sweep with idle fast-forward off and on (byte-identity
+// enforced again), and write one perfledger snapshot — a point on the
+// repository's committed performance trajectory (BENCH_<date>.json).
 
 import (
 	"context"
@@ -14,8 +15,10 @@ import (
 	"time"
 
 	"repro/internal/dse"
+	"repro/internal/noc"
 	"repro/internal/perfledger"
 	"repro/internal/resultcache"
+	"repro/internal/sim"
 )
 
 // benchTrajectory runs the reference trajectory and writes the snapshot
@@ -67,6 +70,13 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 		return fmt.Errorf("bench-json: warm rerun recomputed %d points", ws.Computes)
 	}
 
+	log.Printf("bench-json: low-load noc sweep, fast-forward off vs on")
+	ffOffDur, ffOnDur, ffSkipped, ffCycles, err := benchFastForward(ctx)
+	if err != nil {
+		return err
+	}
+	ffSpeedup := float64(ffOffDur) / float64(ffOnDur)
+
 	// The ledger root commits to the reference result rows (one CSV row
 	// per leaf, header excluded): equal roots across snapshots mean the
 	// reference results are still byte-identical.
@@ -81,6 +91,8 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 			{Name: "fig8-quick/cache-off", NsPerOp: float64(offDur.Nanoseconds()), Metrics: map[string]float64{"points": points}},
 			{Name: "fig8-quick/mem-cold", NsPerOp: float64(coldDur.Nanoseconds()), Metrics: map[string]float64{"points": points, "hit_rate": cold.Stats().HitRate()}},
 			{Name: "fig8-quick/mem-warm", NsPerOp: float64(warmDur.Nanoseconds()), Metrics: map[string]float64{"points": points, "hit_rate": ws.HitRate()}},
+			{Name: "noc-lowload/ffwd-off", NsPerOp: float64(ffOffDur.Nanoseconds()), Metrics: map[string]float64{"cycles": float64(ffCycles)}},
+			{Name: "noc-lowload/ffwd-on", NsPerOp: float64(ffOnDur.Nanoseconds()), Metrics: map[string]float64{"cycles": float64(ffCycles), "cycles_skipped": float64(ffSkipped), "speedup": ffSpeedup}},
 		},
 		Cache: perfledger.CacheSummary{
 			ColdNs:  coldDur.Nanoseconds(),
@@ -98,13 +110,81 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "wrote %s: cache-off %s, cold %s, warm %s (%.0fx; hit rate %.0f%%), merkle root %s\n",
 		path, offDur.Round(time.Millisecond), coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond),
 		speedup, 100*ws.HitRate(), root)
+	fmt.Fprintf(stdout, "fast-forward: low-load noc %s -> %s (%.1fx; %d of %d cycles skipped)\n",
+		ffOffDur.Round(time.Millisecond), ffOnDur.Round(time.Millisecond), ffSpeedup, ffSkipped, ffCycles)
 	if speedup < 5 {
 		// The trajectory's reason to exist: a warm rerun must be far
 		// cheaper than a cold one. Tripping this means the cache stopped
 		// paying for itself.
 		return fmt.Errorf("bench-json: warm rerun only %.1fx faster than cold (want >= 5x)", speedup)
 	}
+	if ffSpeedup < 2 {
+		// Fast-forward's acceptance bar: an almost-idle fabric must
+		// simulate at least twice as fast with skipping on. Tripping this
+		// means the cold path regressed (events over-vetoing, skip
+		// machinery overhead) even though results are still identical.
+		return fmt.Errorf("bench-json: fast-forward only %.1fx faster on the low-load sweep (want >= 2x)", ffSpeedup)
+	}
 	return nil
+}
+
+// benchFastForward times the same low-load NoC measurement with idle
+// fast-forward disabled and enabled, enforcing that the two agree on
+// every measured figure before the timings count. At offered load 0.002
+// the fabric idles for long stretches between injections — the regime
+// fast-forward exists for (the fig8 kernel sweeps gain less; their
+// fabric is rarely quiet).
+func benchFastForward(ctx context.Context) (offDur, onDur time.Duration, skipped, cycles int64, err error) {
+	defer sim.SetDefaultFastForward(sim.DefaultFastForward())
+	topo, err := noc.NewTopology(4, 4)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	mc := noc.MeasureConfig{
+		Router:  noc.RouterDeflection,
+		Traffic: noc.TrafficConfig{Pattern: noc.Uniform, Rate: 0.002},
+		Warmup:  1_000,
+		Measure: 300_000,
+	}
+	seeds := []int64{1, 2, 3}
+
+	run := func(ffwd bool) (time.Duration, []noc.Measurement, int64, error) {
+		sim.SetDefaultFastForward(ffwd)
+		var total int64
+		out := make([]noc.Measurement, 0, len(seeds))
+		start := time.Now()
+		for _, seed := range seeds {
+			smc := mc
+			smc.Seed = seed
+			m, err := noc.MeasureCtx(ctx, topo, smc)
+			if err != nil {
+				return 0, nil, 0, err
+			}
+			total += m.CyclesSkipped
+			m.CyclesSkipped = 0
+			out = append(out, m)
+		}
+		return time.Since(start), out, total, nil
+	}
+
+	offDur, offMs, offSkipped, err := run(false)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	onDur, onMs, skipped, err := run(true)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if offSkipped != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("bench-json: %d cycles skipped with fast-forward disabled", offSkipped)
+	}
+	for i := range offMs {
+		if offMs[i] != onMs[i] {
+			return 0, 0, 0, 0, fmt.Errorf("bench-json: fast-forward changed seed %d results:\n  on:  %+v\n  off: %+v",
+				seeds[i], onMs[i], offMs[i])
+		}
+	}
+	return offDur, onDur, skipped, mc.Measure * int64(len(seeds)), nil
 }
 
 // csvMerkleRoot builds the run-ledger root over a CSV rendering, one

@@ -35,6 +35,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/jacobi"
 	"repro/internal/par"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -76,6 +77,7 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := fs.String("bench-json", "", "run the fig8-quick cache trajectory (off/cold/warm, byte-identity enforced) and write a BENCH_<date>.json perf snapshot to this path")
+	noFFwd := fs.Bool("no-ffwd", false, "disable idle fast-forward (tick every cycle; output is byte-identical either way)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: medea-experiments [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Regenerates the paper's figures and the beyond-paper kernel ablation\n")
@@ -93,6 +95,9 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if (*workloads != "" || *variants != "") && *fig != "kernel" {
 		return fmt.Errorf("-workloads/-variants only apply to -fig kernel (got -fig %s)", *fig)
+	}
+	if *noFFwd {
+		sim.SetDefaultFastForward(false)
 	}
 	if *benchJSON != "" {
 		return benchTrajectory(ctx, *benchJSON, stdout)

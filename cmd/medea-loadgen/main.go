@@ -178,23 +178,37 @@ func closedLoop(c *client, body []byte, n, workers int, chaos bool, seed int64, 
 
 // openLoop fires n submissions at the given rate without waiting for
 // completions (each in-flight request still records its response class).
+// Submission i fires at the absolute slot start + i*interval rather than
+// off a relative ticker: a ticker re-arms from whenever the loop got
+// around to reading it, so scheduling jitter and slow stretches compound
+// into an offered load silently below -rate. With absolute slots a late
+// submission fires immediately and the schedule catches back up. The
+// achieved rate is reported so drift, if any, is visible instead of
+// assumed away.
 func openLoop(c *client, body []byte, n int, rate float64, chaos bool, seed int64, m *metrics) {
 	interval := time.Duration(float64(time.Second) / rate)
-	if interval <= 0 {
-		interval = time.Nanosecond
-	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
 	var wg sync.WaitGroup
+	start := time.Now()
 	for i := 0; i < n; i++ {
-		<-tick.C
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
 		wg.Add(1)
 		go func(s int64) {
 			defer wg.Done()
 			oneRequest(c, body, chaos, s, m, false)
 		}(seed + int64(i))
 	}
+	// Span covers first to last submission; in-flight waits don't count
+	// against the offered rate.
+	span := time.Since(start)
 	wg.Wait()
+	if n > 1 && span > 0 {
+		// n submissions span n-1 intervals, so the achieved rate over the
+		// submission window is (n-1)/span.
+		log.Printf("open loop: offered %.1f req/s, achieved %.1f req/s over %d submissions",
+			rate, float64(n-1)/span.Seconds(), n)
+	}
 }
 
 // oneRequest performs one submission — possibly a chaos mutation — and,

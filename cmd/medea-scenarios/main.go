@@ -34,6 +34,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/resultcache"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -73,6 +74,8 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	cacheBackend := fs.String("cache", resultcache.BackendOff, "result cache backend: off | mem | disk (disk persists across runs; output is byte-identical either way)")
 	cacheDir := fs.String("cache-dir", "", "directory for -cache disk")
 	cacheBudget := fs.Int64("cache-budget", 0, "byte budget for -cache mem (0 = 64 MiB default)")
+	noFFwd := fs.Bool("no-ffwd", false, "disable idle fast-forward (tick every cycle; output is byte-identical either way)")
+	noFork := fs.Bool("no-fork", false, "disable warm-snapshot sharing across measure_windows (re-simulate each warmup; output is byte-identical either way)")
 	workloads := fs.Bool("workloads", false, "list the available workloads and exit")
 	patterns := fs.Bool("patterns", false, "list the available traffic patterns and exit")
 	routers := fs.Bool("routers", false, "list the available router algorithms and exit")
@@ -85,6 +88,12 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *noFFwd {
+		sim.SetDefaultFastForward(false)
+	}
+	if *noFork {
+		scenario.SetWindowFork(false)
 	}
 
 	switch *format {

@@ -1,0 +1,45 @@
+package bridge
+
+import "repro/internal/sim"
+
+// Sending reports whether the bridge's Step would feed a flit toward the
+// arbiter this cycle (the two protocol states with transmit work). The
+// owning core checks it before declaring itself skippable.
+func (b *Bridge) Sending() bool { return b.st == stSendReq || b.st == stSendData }
+
+// Completed reports whether a finished transaction is waiting for the
+// core to consume it via Done.
+func (b *Bridge) Completed() bool { return b.st == stDone }
+
+// Pending reports the total flit occupancy across the arbiter's source
+// and staging queues; the node's switch probes it (through the core
+// package's node interface) to decide whether injection work remains.
+func (a *Arbiter) Pending() int {
+	n := a.tie.Len() + a.brg.Len()
+	switch a.mode {
+	case ArbSingleFIFO:
+		n += a.single.Len()
+	case ArbDualFIFO:
+		n += a.hp.Len() + a.be.Len()
+	}
+	return n
+}
+
+// NextEvent implements sim.NextEventer: any queued flit means staging or
+// injection work this cycle; an empty arbiter is passive.
+func (a *Arbiter) NextEvent(now int64) int64 {
+	if a.Pending() > 0 {
+		return now
+	}
+	return sim.NoEvent
+}
+
+// Skipped implements sim.Skipper: in single-FIFO mode Step toggles the
+// round-robin priority every cycle even when idle, so an odd number of
+// skipped cycles must flip it to keep arbitration decisions identical to
+// a fully ticked run.
+func (a *Arbiter) Skipped(from, to int64) {
+	if a.mode == ArbSingleFIFO && (to-from)%2 == 1 {
+		a.rrTIEFirst = !a.rrTIEFirst
+	}
+}

@@ -179,6 +179,10 @@ type nodeIface struct {
 
 func (ni *nodeIface) TryPull() (flit.Flit, bool) { return ni.arb.TryPull() }
 
+// Pending exposes the arbiter's queued-flit count so the node's switch
+// can tell whether injection work remains (fast-forward idle probing).
+func (ni *nodeIface) Pending() int { return ni.arb.Pending() }
+
 func (ni *nodeIface) Deliver(f flit.Flit, now int64) {
 	if f.Type == flit.Message {
 		ni.port.Deliver(f)

@@ -33,6 +33,13 @@ type Point struct {
 	// argument). The kernel sweeps carry them into KernelPoint.
 	MPMMUBusy int64
 	NoCFlits  int64
+
+	// CyclesSkipped counts cycles the engine fast-forwarded over while
+	// simulating this point. A pure performance counter: it is 0 when the
+	// point was recalled from the result cache, and it never enters a
+	// table, CSV, JSON row or cache value — measured figures are
+	// byte-identical whatever it holds.
+	CyclesSkipped int64
 }
 
 // Options parameterizes a sweep.
@@ -125,7 +132,7 @@ func SweepCtx(ctx context.Context, o Options) ([]Point, error) {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
 		spec := jacobi.Spec{N: o.N, Warmup: o.Warmup, Measured: o.Measured}
-		val, err := jacobiPointValueCached(ctx, o.Cache, cfg, spec, o.Variant, j.cores, j.kb, j.policy)
+		val, skipped, err := jacobiPointValueCached(ctx, o.Cache, cfg, spec, o.Variant, j.cores, j.kb, j.policy)
 		if err != nil {
 			return err
 		}
@@ -137,6 +144,7 @@ func SweepCtx(ctx context.Context, o Options) ([]Point, error) {
 			Label:         fmt.Sprintf("%dP_%dk$", j.cores, j.kb),
 			MPMMUBusy:     val.MPMMUBusy,
 			NoCFlits:      val.NoCFlits,
+			CyclesSkipped: skipped,
 		}
 		return nil
 	}); err != nil {

@@ -164,6 +164,10 @@ type KernelPoint struct {
 	// Speedup is relative to the smallest-area configuration of the same
 	// (kernel, variant) series, mirroring AttachSpeedup.
 	Speedup float64
+	// CyclesSkipped counts cycles the engine fast-forwarded over while
+	// simulating this point (0 when recalled from the result cache; never
+	// rendered — see Point.CyclesSkipped).
+	CyclesSkipped int64
 }
 
 func (o *KernelOptions) withDefaults() error {
@@ -264,8 +268,9 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 				AreaMM2:  p.AreaMM2,
 				// Speedup intentionally dropped: attachKernelSpeedup
 				// recomputes it identically over the same series.
-				MPMMUBusy: p.MPMMUBusy,
-				NoCFlits:  p.NoCFlits,
+				MPMMUBusy:     p.MPMMUBusy,
+				NoCFlits:      p.NoCFlits,
+				CyclesSkipped: p.CyclesSkipped,
 			}
 		}
 		return out, nil
@@ -295,7 +300,7 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 		}
 		switch o.Kernel {
 		case KernelMatmul:
-			val, err := matmulPointValueCached(ctx, o.Cache, cfg, o.N, variant, j.cores, j.kb, j.policy)
+			val, skipped, err := matmulPointValueCached(ctx, o.Cache, cfg, o.N, variant, j.cores, j.kb, j.policy)
 			if err != nil {
 				return err
 			}
@@ -303,18 +308,20 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 			p.TransferCycles = val.TransferCycles
 			p.MPMMUBusy = val.MPMMUBusy
 			p.NoCFlits = val.NoCFlits
+			p.CyclesSkipped = skipped
 		case KernelSyncbench:
 			kind := syncbench.MessageBarrier
 			if variant == jacobi.PureSM {
 				kind = syncbench.LockBarrier
 			}
-			val, err := syncbenchPointValueCached(ctx, o.Cache, cfg, kind, o.Rounds, j.cores, j.kb, j.policy)
+			val, skipped, err := syncbenchPointValueCached(ctx, o.Cache, cfg, kind, o.Rounds, j.cores, j.kb, j.policy)
 			if err != nil {
 				return err
 			}
 			p.Cycles = val.Cycles
 			p.MPMMUBusy = val.MPMMUBusy
 			p.NoCFlits = val.NoCFlits
+			p.CyclesSkipped = skipped
 		}
 		points[j.idx] = p
 		return nil

@@ -58,14 +58,19 @@ func jacobiPointKey(spec jacobi.Spec, variant jacobi.Variant, cores, kb int, pol
 }
 
 // jacobiPointValueCached runs (or recalls) one jacobi point through the
-// cache; a nil cache computes directly.
-func jacobiPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, spec jacobi.Spec, variant jacobi.Variant, cores, kb int, policy cache.Policy) (jacobiPointValue, error) {
+// cache; a nil cache computes directly. The second return is the fresh
+// run's CyclesSkipped performance counter — deliberately outside the
+// cached value (a recalled point did not simulate, so it skipped
+// nothing), and excluded from every rendering for the same reason.
+func jacobiPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, spec jacobi.Spec, variant jacobi.Variant, cores, kb int, policy cache.Policy) (jacobiPointValue, int64, error) {
 	key := jacobiPointKey(spec, variant, cores, kb, policy)
+	var skipped int64
 	buf, _, err := c.GetOrCompute(key, func() ([]byte, error) {
 		res, err := jacobi.RunCtx(ctx, cfg, spec, variant)
 		if err != nil {
 			return nil, err
 		}
+		skipped = res.CyclesSkipped
 		return json.Marshal(jacobiPointValue{
 			CyclesPerIter: res.CyclesPerIteration,
 			MissRate:      res.MissRate,
@@ -75,16 +80,17 @@ func jacobiPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.
 	})
 	var val jacobiPointValue
 	if err != nil {
-		return val, err
+		return val, 0, err
 	}
 	if err := json.Unmarshal(buf, &val); err != nil {
-		return val, fmt.Errorf("dse: decoding cached jacobi point %s: %w", key, err)
+		return val, 0, fmt.Errorf("dse: decoding cached jacobi point %s: %w", key, err)
 	}
-	return val, nil
+	return val, skipped, nil
 }
 
-// matmulPointValueCached runs (or recalls) one matmul point.
-func matmulPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, n int, variant jacobi.Variant, cores, kb int, policy cache.Policy) (kernelPointValue, error) {
+// matmulPointValueCached runs (or recalls) one matmul point. The second
+// return is the fresh run's CyclesSkipped (see jacobiPointValueCached).
+func matmulPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, n int, variant jacobi.Variant, cores, kb int, policy cache.Policy) (kernelPointValue, int64, error) {
 	key := resultcache.NewKey("dse/matmul").
 		Int("n", int64(n)).
 		Str("variant", variant.String()).
@@ -92,11 +98,13 @@ func matmulPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.
 		Int("cache_kb", int64(kb)).
 		Str("policy", policy.String()).
 		Sum()
+	var skipped int64
 	buf, _, err := c.GetOrCompute(key, func() ([]byte, error) {
 		res, err := matmul.RunCtx(ctx, cfg, matmul.Spec{N: n}, variant)
 		if err != nil {
 			return nil, err
 		}
+		skipped = res.CyclesSkipped
 		return json.Marshal(kernelPointValue{
 			Cycles:         res.TotalCycles,
 			TransferCycles: res.TransferCycles,
@@ -106,16 +114,18 @@ func matmulPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.
 	})
 	var val kernelPointValue
 	if err != nil {
-		return val, err
+		return val, 0, err
 	}
 	if err := json.Unmarshal(buf, &val); err != nil {
-		return val, fmt.Errorf("dse: decoding cached matmul point %s: %w", key, err)
+		return val, 0, fmt.Errorf("dse: decoding cached matmul point %s: %w", key, err)
 	}
-	return val, nil
+	return val, skipped, nil
 }
 
-// syncbenchPointValueCached runs (or recalls) one syncbench point.
-func syncbenchPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, kind syncbench.Kind, rounds, cores, kb int, policy cache.Policy) (kernelPointValue, error) {
+// syncbenchPointValueCached runs (or recalls) one syncbench point. The
+// second return is the fresh run's CyclesSkipped (see
+// jacobiPointValueCached).
+func syncbenchPointValueCached(ctx context.Context, c *resultcache.Cache, cfg core.Config, kind syncbench.Kind, rounds, cores, kb int, policy cache.Policy) (kernelPointValue, int64, error) {
 	key := resultcache.NewKey("dse/syncbench").
 		Str("kind", kind.String()).
 		Int("rounds", int64(rounds)).
@@ -123,11 +133,13 @@ func syncbenchPointValueCached(ctx context.Context, c *resultcache.Cache, cfg co
 		Int("cache_kb", int64(kb)).
 		Str("policy", policy.String()).
 		Sum()
+	var skipped int64
 	buf, _, err := c.GetOrCompute(key, func() ([]byte, error) {
 		res, err := syncbench.MeasureWithCtx(ctx, kind, cfg, rounds)
 		if err != nil {
 			return nil, err
 		}
+		skipped = res.CyclesSkipped
 		return json.Marshal(kernelPointValue{
 			Cycles:    res.CyclesPerRound,
 			MPMMUBusy: res.MPMMUBusy,
@@ -136,10 +148,10 @@ func syncbenchPointValueCached(ctx context.Context, c *resultcache.Cache, cfg co
 	})
 	var val kernelPointValue
 	if err != nil {
-		return val, err
+		return val, 0, err
 	}
 	if err := json.Unmarshal(buf, &val); err != nil {
-		return val, fmt.Errorf("dse: decoding cached syncbench point %s: %w", key, err)
+		return val, 0, fmt.Errorf("dse: decoding cached syncbench point %s: %w", key, err)
 	}
-	return val, nil
+	return val, skipped, nil
 }

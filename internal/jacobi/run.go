@@ -28,6 +28,10 @@ type Result struct {
 	AvgFlitLatency float64
 	// Deflections is the total number of deflected hops.
 	Deflections int64
+	// CyclesSkipped counts cycles the engine fast-forwarded over instead
+	// of ticking (a performance counter; every measured figure is
+	// byte-identical whatever its value).
+	CyclesSkipped int64
 	// MPMMUBusy is the number of cycles the memory node was serving a
 	// transaction.
 	MPMMUBusy int64
@@ -102,6 +106,7 @@ func RunCtx(ctx context.Context, cfg core.Config, spec Spec, variant Variant, op
 		AvgFlitLatency:     sys.Net.Stats.Latency.Mean(),
 		Deflections:        sys.Net.TotalDeflections(),
 		MPMMUBusy:          sys.MPMMUBusyTotal(),
+		CyclesSkipped:      sys.Engine.CyclesSkipped(),
 	}
 	var mrSum float64
 	var active int

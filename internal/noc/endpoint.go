@@ -25,3 +25,4 @@ type nullPort struct{ delivered int64 }
 
 func (n *nullPort) TryPull() (flit.Flit, bool) { return flit.Flit{}, false }
 func (n *nullPort) Deliver(flit.Flit, int64)   { n.delivered++ }
+func (n *nullPort) Pending() int               { return 0 }

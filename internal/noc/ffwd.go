@@ -1,0 +1,228 @@
+package noc
+
+// Fast-forward and checkpoint capabilities of the switches and the cmesh
+// concentrator (see internal/sim/ffwd.go and internal/sim/snapshot.go for
+// the engine-side contracts; the traffic nodes' pre-drawn gating lives in
+// traffic.go).
+//
+// What "idle" means per router kind:
+//
+//   - Deflection and adaptive switches store nothing between cycles, so
+//     with no flit on any link (the engine's quiet precondition) and no
+//     source reporting pending work they are fully passive: NoEvent.
+//   - The XY switch is passive when its input queues are empty; its
+//     round-robin pointer advances every cycle regardless, so skipped
+//     cycles compensate it in Skipped.
+//   - The wormhole switch is passive only when its buffers are empty AND
+//     no returned credit is awaiting collection: a pending credit folds on
+//     a parity the next Step derives from the clock, so skipping over one
+//     would fold it on the wrong cycle.
+//   - The concentrator is passive unless its output latch is occupied
+//     (the switch must drain it); endpoints with queued flits keep the
+//     engine ticking by themselves (TrafficNode.NextEvent returns now).
+
+import (
+	"repro/internal/flit"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// pendingReporter is the optional LocalPort capability the switches' idle
+// detection relies on: the current source-queue occupancy. TrafficNode and
+// the concentrator implement it; an attached port that does not (a test
+// stub, say) makes its switch veto every skip — fast-forward silently
+// degrades to plain ticking rather than risking an unserved injection.
+type pendingReporter interface{ Pending() int }
+
+// portIdle reports whether the local port provably has nothing to inject.
+func portIdle(p LocalPort) bool {
+	if p == nil {
+		return true
+	}
+	pr, ok := p.(pendingReporter)
+	return ok && pr.Pending() == 0
+}
+
+// NextEvent implements sim.NextEventer; the bufferless deflection switch
+// holds no state across cycles, so it is passive whenever its local port
+// provably has nothing to inject.
+func (s *DeflSwitch) NextEvent(now int64) int64 {
+	if !portIdle(s.local) {
+		return now
+	}
+	return sim.NoEvent
+}
+
+// Snapshot implements sim.Checkpointable.
+func (s *DeflSwitch) Snapshot() any { return s.Stats }
+
+// Restore implements sim.Checkpointable.
+func (s *DeflSwitch) Restore(snap any) { s.Stats = snap.(SwitchStats) }
+
+// NextEvent implements sim.NextEventer; the adaptive switch is bufferless
+// like the deflection switch.
+func (s *AdaptiveSwitch) NextEvent(now int64) int64 {
+	if !portIdle(s.local) {
+		return now
+	}
+	return sim.NoEvent
+}
+
+// Snapshot implements sim.Checkpointable.
+func (s *AdaptiveSwitch) Snapshot() any { return s.Stats }
+
+// Restore implements sim.Checkpointable.
+func (s *AdaptiveSwitch) Restore(snap any) { s.Stats = snap.(SwitchStats) }
+
+// NextEvent implements sim.NextEventer: buffered flits mean work every
+// cycle; empty queues mean fully passive.
+func (s *XYSwitch) NextEvent(now int64) int64 {
+	if s.buffered > 0 || !portIdle(s.local) {
+		return now
+	}
+	return sim.NoEvent
+}
+
+// Skipped implements sim.Skipper: Step advances the round-robin pointer
+// unconditionally every cycle, including idle ones, so skipped cycles must
+// advance it by exactly the same amount.
+func (s *XYSwitch) Skipped(from, to int64) {
+	nq := len(s.queues)
+	s.rrStart = (s.rrStart + int((to-from)%int64(nq))) % nq
+}
+
+// xySnap is the checkpointed state of an XYSwitch.
+type xySnap struct {
+	queues   [NumPorts + 1][]flit.Flit
+	rrStart  int
+	buffered int
+	peakBuf  int
+	stats    XYStats
+}
+
+// Snapshot implements sim.Checkpointable.
+func (s *XYSwitch) Snapshot() any {
+	snap := xySnap{rrStart: s.rrStart, buffered: s.buffered, peakBuf: s.peakBuf, stats: s.Stats}
+	for q := range s.queues {
+		if len(s.queues[q]) > 0 {
+			snap.queues[q] = append([]flit.Flit(nil), s.queues[q]...)
+		}
+	}
+	return snap
+}
+
+// Restore implements sim.Checkpointable.
+func (s *XYSwitch) Restore(snap any) {
+	sn := snap.(xySnap)
+	for q := range s.queues {
+		s.queues[q] = append(s.queues[q][:0], sn.queues[q]...)
+	}
+	s.rrStart, s.buffered, s.peakBuf, s.Stats = sn.rrStart, sn.buffered, sn.peakBuf, sn.stats
+}
+
+// NextEvent implements sim.NextEventer: the wormhole switch acts whenever
+// it holds flits (input buffers or injection queue) or a returned credit
+// is awaiting its parity-scheduled collection.
+func (s *WormholeSwitch) NextEvent(now int64) int64 {
+	if s.buffered > 0 || !portIdle(s.local) {
+		return now
+	}
+	for par := range s.pending {
+		for p := range s.pending[par] {
+			for v := range s.pending[par][p] {
+				if s.pending[par][p][v] != 0 {
+					return now
+				}
+			}
+		}
+	}
+	return sim.NoEvent
+}
+
+// whSnap is the checkpointed state of a WormholeSwitch.
+type whSnap struct {
+	bufs      [NumPorts][WormholeVCs]fifoSnap
+	injQ      fifoSnap
+	credits   [NumPorts][WormholeVCs]int
+	pending   [2][NumPorts][WormholeVCs]int
+	buffered  int
+	peakBuf   int
+	minCredit int
+	stats     WormholeStats
+}
+
+type fifoSnap = queue.Snap[flit.Flit]
+
+// Snapshot implements sim.Checkpointable.
+func (s *WormholeSwitch) Snapshot() any {
+	snap := whSnap{
+		credits: s.credits, pending: s.pending,
+		buffered: s.buffered, peakBuf: s.peakBuf, minCredit: s.minCredit,
+		stats: s.Stats,
+		injQ:  s.injQ.Snapshot(),
+	}
+	for p := range s.bufs {
+		for v := range s.bufs[p] {
+			snap.bufs[p][v] = s.bufs[p][v].Snapshot()
+		}
+	}
+	return snap
+}
+
+// Restore implements sim.Checkpointable.
+func (s *WormholeSwitch) Restore(snap any) {
+	sn := snap.(whSnap)
+	for p := range s.bufs {
+		for v := range s.bufs[p] {
+			s.bufs[p][v].Restore(sn.bufs[p][v])
+		}
+	}
+	s.injQ.Restore(sn.injQ)
+	s.credits, s.pending = sn.credits, sn.pending
+	s.buffered, s.peakBuf, s.minCredit = sn.buffered, sn.peakBuf, sn.minCredit
+	s.Stats = sn.stats
+}
+
+// NextEvent implements sim.NextEventer: an occupied latch means the switch
+// must step to drain it; an empty latch with idle endpoints means nothing
+// to multiplex (endpoints holding flits report now themselves).
+func (c *concentrator) NextEvent(now int64) int64 {
+	if c.hasLatch {
+		return now
+	}
+	for _, ep := range c.eps {
+		if !portIdle(ep) {
+			return now
+		}
+	}
+	return sim.NoEvent
+}
+
+// Pending implements the pendingReporter probe for the owning switch: the
+// concentrator is the switch's local port on concentrated topologies, and
+// its injectable backlog is the latch.
+func (c *concentrator) Pending() int {
+	if c.hasLatch {
+		return 1
+	}
+	return 0
+}
+
+// concSnap is the checkpointed state of a concentrator.
+type concSnap struct {
+	rr          int
+	latch       flit.Flit
+	hasLatch    bool
+	turnarounds int64
+}
+
+// Snapshot implements sim.Checkpointable.
+func (c *concentrator) Snapshot() any {
+	return concSnap{rr: c.rr, latch: c.latch, hasLatch: c.hasLatch, turnarounds: c.turnarounds}
+}
+
+// Restore implements sim.Checkpointable.
+func (c *concentrator) Restore(snap any) {
+	sn := snap.(concSnap)
+	c.rr, c.latch, c.hasLatch, c.turnarounds = sn.rr, sn.latch, sn.hasLatch, sn.turnarounds
+}

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -41,6 +42,12 @@ type Measurement struct {
 	// PeakBuffer is the worst per-switch buffer occupancy (0 for
 	// bufferless routers).
 	PeakBuffer int
+	// CyclesSkipped counts the window's cycles the engine fast-forwarded
+	// over instead of ticking (see internal/sim/ffwd.go). A pure
+	// performance counter: every other field is byte-identical whatever
+	// its value, which the differential tests assert. It is deliberately
+	// excluded from rendered tables and cache codecs.
+	CyclesSkipped int64
 }
 
 // Measure simulates one (topology, router, traffic, seed) point: build a
@@ -54,11 +61,14 @@ func Measure(topo Topology, mc MeasureConfig) Measurement {
 	return m
 }
 
-// MeasureCtx is Measure with cooperative cancellation: the context is
-// polled every few thousand simulated cycles, so a canceled measurement
-// stops in bounded wall time and returns the context's error with a
-// zero-value Measurement.
-func MeasureCtx(ctx context.Context, topo Topology, mc MeasureConfig) (Measurement, error) {
+// measureRig is a built network ready to run: the engine, the fabric and
+// one traffic node per endpoint.
+type measureRig struct {
+	e *sim.Engine
+	n *Network
+}
+
+func buildRig(topo Topology, mc MeasureConfig) *measureRig {
 	e := sim.NewEngine()
 	n := NewRouterNetwork(e, topo, mc.Router)
 	for i := 0; i < topo.NumEndpoints(); i++ {
@@ -66,30 +76,36 @@ func MeasureCtx(ctx context.Context, topo Topology, mc MeasureConfig) (Measureme
 		n.Attach(i, tn)
 		e.Register(sim.PhaseNode, tn)
 	}
+	return &measureRig{e: e, n: n}
+}
 
-	if err := e.RunCtx(ctx, mc.Warmup); err != nil {
-		return Measurement{}, err
-	}
+// window runs one measurement window on a warmed-up rig, attaching a
+// fresh latency sample and counter baselines so only flits delivered
+// inside the window count.
+func (r *measureRig) window(ctx context.Context, topo Topology, measure int64) (Measurement, error) {
+	e, n := r.e, r.n
 	sample := &stats.Sample{}
 	n.Stats.LatencySample = sample
 	delivered0 := n.Stats.Delivered.Value()
 	deflected0 := n.TotalDeflections()
 	hopsN0, hopsSum := n.Stats.Hops.Count(), n.Stats.Hops.Sum()
-	if err := e.RunCtx(ctx, mc.Measure); err != nil {
+	skipped0 := e.CyclesSkipped()
+	if err := e.RunCtx(ctx, measure); err != nil {
 		return Measurement{}, err
 	}
 
 	delivered := n.Stats.Delivered.Value() - delivered0
 	deflected := n.TotalDeflections() - deflected0
 	m := Measurement{
-		Cycles:      mc.Measure,
+		Cycles:      measure,
 		Delivered:   delivered,
 		Deflections: deflected,
-		Throughput: float64(delivered) / float64(mc.Measure) /
+		Throughput: float64(delivered) / float64(measure) /
 			float64(topo.NumEndpoints()),
-		MeanLatency: sample.Mean(),
-		P99Latency:  sample.Percentile(99),
-		PeakBuffer:  n.PeakBuffer(),
+		MeanLatency:   sample.Mean(),
+		P99Latency:    sample.Percentile(99),
+		PeakBuffer:    n.PeakBuffer(),
+		CyclesSkipped: e.CyclesSkipped() - skipped0,
 	}
 	if dn := n.Stats.Hops.Count() - hopsN0; dn > 0 {
 		m.MeanHops = (n.Stats.Hops.Sum() - hopsSum) / float64(dn)
@@ -98,4 +114,67 @@ func MeasureCtx(ctx context.Context, topo Topology, mc MeasureConfig) (Measureme
 		m.DeflectionRate = float64(deflected) / float64(delivered)
 	}
 	return m, nil
+}
+
+// MeasureCtx is Measure with cooperative cancellation: the context is
+// polled every few thousand simulated cycles, so a canceled measurement
+// stops in bounded wall time and returns the context's error with a
+// zero-value Measurement.
+func MeasureCtx(ctx context.Context, topo Topology, mc MeasureConfig) (Measurement, error) {
+	r := buildRig(topo, mc)
+	if err := r.e.RunCtx(ctx, mc.Warmup); err != nil {
+		return Measurement{}, err
+	}
+	return r.window(ctx, topo, mc.Measure)
+}
+
+// MeasureWindowsCtx measures several window lengths that share one warmup
+// prefix (same topology, router, traffic and seed; mc.Measure is ignored
+// in favour of windows). With fork enabled it simulates the warmup once,
+// snapshots the complete engine state, and restores that warm snapshot
+// before each window — every returned Measurement is byte-identical to an
+// independent MeasureCtx call with the same warmup and that window, which
+// the differential tests assert. With fork disabled it runs exactly those
+// independent calls.
+func MeasureWindowsCtx(ctx context.Context, topo Topology, mc MeasureConfig, windows []int64, fork bool) ([]Measurement, error) {
+	out := make([]Measurement, len(windows))
+	if !fork || len(windows) <= 1 {
+		for i, w := range windows {
+			wmc := mc
+			wmc.Measure = w
+			m, err := MeasureCtx(ctx, topo, wmc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m
+		}
+		return out, nil
+	}
+
+	r := buildRig(topo, mc)
+	if err := r.e.RunCtx(ctx, mc.Warmup); err != nil {
+		return nil, err
+	}
+	snap, err := r.e.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("noc: warm snapshot: %w", err)
+	}
+	// NetStats lives outside the engine (the Network is not a component),
+	// so the warm copy is captured and reinstated alongside the engine
+	// snapshot. The latency-sample hook is per-window and never part of
+	// the warm state.
+	warmStats := r.n.Stats
+	warmStats.LatencySample = nil
+	for i, w := range windows {
+		if err := r.e.Restore(snap); err != nil {
+			return nil, fmt.Errorf("noc: restoring warm snapshot: %w", err)
+		}
+		r.n.Stats = warmStats
+		m, err := r.window(ctx, topo, w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
 }

@@ -171,6 +171,22 @@ func (b *BurstModulator) Step() bool {
 	return b.on
 }
 
+// snapshot returns a restorable value copy of the modulator (its RNG
+// dereferenced), for TrafficNode's checkpoint support.
+func (b *BurstModulator) snapshot() BurstModulator {
+	s := *b
+	rng := *b.rng
+	s.rng = &rng
+	return s
+}
+
+// restore reinstates a snapshot taken from this modulator.
+func (b *BurstModulator) restore(s BurstModulator) {
+	rng := *s.rng
+	*b = s
+	b.rng = &rng
+}
+
 // MeasuredDuty returns the observed on fraction so far, or 0 before any
 // Step.
 func (b *BurstModulator) MeasuredDuty() float64 {

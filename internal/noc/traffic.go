@@ -95,6 +95,17 @@ type TrafficNode struct {
 	now   int64
 	pktID uint64
 
+	// Pre-drawn gating state for idle fast-forward. The per-cycle gating
+	// randomness (burst modulator step, then the Bernoulli injection coin)
+	// must be drawn exactly once per cycle in cycle order whether the
+	// decision is made live in Step or ahead of time in NextEvent, or the
+	// RNG stream — and with it every destination draw — would diverge from
+	// a non-fast-forwarded run. drawnThrough is the last cycle whose gating
+	// has been drawn; nextInject is the earliest drawn cycle that came up
+	// heads (-1 when none has), consumed by the Step that injects it.
+	drawnThrough int64
+	nextInject   int64
+
 	Sent      stats.Counter
 	Recv      stats.Counter
 	Throttled stats.Counter
@@ -111,6 +122,8 @@ func NewTrafficNode(id int, topo Topology, cfg TrafficConfig, seed int64) *Traff
 		id: id, topo: topo, cfg: cfg,
 		rng:  sim.NewRNG(seed ^ int64(id)*0x9E37),
 		outQ: queue.NewFIFO[flit.Flit](cfg.QueueCap),
+
+		drawnThrough: -1, nextInject: -1,
 	}
 	if cfg.Burst != nil {
 		// The modulator draws from its own RNG stream so enabling bursts
@@ -127,10 +140,7 @@ func (t *TrafficNode) Name() string { return fmt.Sprintf("traffic(%d)", t.id) }
 // Step implements sim.Component.
 func (t *TrafficNode) Step(now int64) {
 	t.now = now
-	if t.burst != nil && !t.burst.Step() {
-		return
-	}
-	if !t.rng.Bernoulli(t.cfg.Rate) {
+	if !t.gate(now) {
 		return
 	}
 	if t.outQ.Full() {
@@ -198,3 +208,108 @@ func (t *TrafficNode) Deliver(flit.Flit, int64) { t.Recv.Inc() }
 
 // Pending returns the current source-queue occupancy.
 func (t *TrafficNode) Pending() int { return t.outQ.Len() }
+
+// drawOne draws cycle drawnThrough+1's gating randomness — the burst
+// modulator step first, then (only while on, mirroring Step's historical
+// short-circuit) the Bernoulli injection coin — and reports whether that
+// cycle attempts an injection.
+func (t *TrafficNode) drawOne() bool {
+	t.drawnThrough++
+	if t.burst != nil && !t.burst.Step() {
+		return false
+	}
+	return t.rng.Bernoulli(t.cfg.Rate)
+}
+
+// gate reports whether cycle now attempts an injection, drawing any gating
+// decisions not already pre-drawn by NextEvent. Each cycle's gating is
+// drawn exactly once, in cycle order, wherever the decision is made.
+func (t *TrafficNode) gate(now int64) bool {
+	for t.drawnThrough < now {
+		if t.drawOne() {
+			t.nextInject = t.drawnThrough
+		}
+	}
+	if t.nextInject == now {
+		t.nextInject = -1 // consumed
+		return true
+	}
+	return false
+}
+
+// ffwdHorizon bounds how many cycles of gating NextEvent pre-draws per
+// call. When no injection lands inside the horizon the engine may jump at
+// most this far and ask again — still a large multiple of a full tick's
+// cost per call, without unbounded scanning at very low rates.
+const ffwdHorizon = 1 << 14
+
+// NextEvent implements sim.NextEventer. While the source queue is
+// non-empty the node reports the current cycle (the switch must keep
+// draining it); otherwise it pre-draws gating decisions forward and
+// reports the next injection-attempt cycle.
+func (t *TrafficNode) NextEvent(now int64) int64 {
+	if t.outQ.Len() > 0 {
+		return now
+	}
+	if t.nextInject >= now {
+		return t.nextInject
+	}
+	if t.cfg.Rate <= 0 {
+		// No injection can ever happen, so the per-cycle gating draws can
+		// never be observed (destinations are drawn only on injection):
+		// skipping is invisible. Step's gate catches the stream up if the
+		// engine ticks instead of jumping.
+		return sim.NoEvent
+	}
+	limit := now + ffwdHorizon
+	for t.drawnThrough < limit {
+		if t.drawOne() {
+			t.nextInject = t.drawnThrough
+			return t.nextInject
+		}
+	}
+	return t.drawnThrough + 1
+}
+
+// trafficSnap is the checkpointed state of a TrafficNode.
+type trafficSnap struct {
+	rng          sim.RNG
+	burst        BurstModulator
+	hasBurst     bool
+	outQ         queue.Snap[flit.Flit]
+	now          int64
+	pktID        uint64
+	drawnThrough int64
+	nextInject   int64
+	sent         stats.Counter
+	recv         stats.Counter
+	throttled    stats.Counter
+	queueLat     stats.Running
+}
+
+// Snapshot implements sim.Checkpointable.
+func (t *TrafficNode) Snapshot() any {
+	s := trafficSnap{
+		rng: *t.rng, outQ: t.outQ.Snapshot(),
+		now: t.now, pktID: t.pktID,
+		drawnThrough: t.drawnThrough, nextInject: t.nextInject,
+		sent: t.Sent, recv: t.Recv, throttled: t.Throttled, queueLat: t.QueueLat,
+	}
+	if t.burst != nil {
+		s.burst, s.hasBurst = t.burst.snapshot(), true
+	}
+	return s
+}
+
+// Restore implements sim.Checkpointable.
+func (t *TrafficNode) Restore(snap any) {
+	s := snap.(trafficSnap)
+	*t.rng = s.rng
+	if s.hasBurst {
+		t.burst.restore(s.burst)
+	}
+	t.outQ.Restore(s.outQ)
+	t.now, t.pktID = s.now, s.pktID
+	t.drawnThrough, t.nextInject = s.drawnThrough, s.nextInject
+	t.Sent, t.Recv, t.Throttled, t.QueueLat = s.sent, s.recv, s.throttled, s.queueLat
+}

@@ -96,3 +96,34 @@ func (q *FIFO[T]) Full() bool { return q.cap > 0 && q.size >= q.cap }
 
 // Peak returns the highest occupancy ever observed.
 func (q *FIFO[T]) Peak() int { return q.peak }
+
+// Snap is a restorable copy of a FIFO's contents (oldest first) and its
+// peak-occupancy watermark, for checkpoint/fork.
+type Snap[T any] struct {
+	items []T
+	peak  int
+}
+
+// Snapshot captures the queue's current contents and peak watermark.
+func (q *FIFO[T]) Snapshot() Snap[T] {
+	s := Snap[T]{peak: q.peak}
+	if q.size > 0 {
+		s.items = make([]T, q.size)
+		n := copy(s.items, q.buf[q.head:min(q.head+q.size, len(q.buf))])
+		copy(s.items[n:], q.buf[:q.size-n])
+	}
+	return s
+}
+
+// Restore reinstates a snapshot taken from a queue with the same
+// capacity, replacing the current contents.
+func (q *FIFO[T]) Restore(s Snap[T]) {
+	clear(q.buf)
+	q.head, q.size = 0, 0
+	if len(s.items) > len(q.buf) {
+		q.buf = make([]T, len(s.items))
+	}
+	copy(q.buf, s.items)
+	q.size = len(s.items)
+	q.peak = s.peak
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // diskMagic versions the on-disk entry format; a format change invalidates
@@ -30,12 +31,38 @@ type DiskStore struct {
 	dir string
 }
 
-// NewDiskStore opens (creating if needed) an on-disk store rooted at dir.
+// NewDiskStore opens (creating if needed) an on-disk store rooted at dir,
+// sweeping temp files orphaned by crashed writers.
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultcache: opening disk store: %w", err)
 	}
-	return &DiskStore{dir: dir}, nil
+	d := &DiskStore{dir: dir}
+	d.sweepOrphanTmp()
+	return d, nil
+}
+
+// orphanTmpAge is how old a put-*.tmp file must be before the opening
+// sweep treats it as an orphan. Live writers hold their temp file for
+// milliseconds between CreateTemp and Rename; an hour-old one belongs to
+// a process that died mid-Put and would otherwise accumulate forever.
+const orphanTmpAge = time.Hour
+
+// sweepOrphanTmp removes stale put-*.tmp leftovers. Best-effort, like Put
+// itself: the age guard keeps it safe against concurrent processes
+// sharing the directory, whose in-flight temp files are always young.
+func (d *DiskStore) sweepOrphanTmp() {
+	matches, err := filepath.Glob(filepath.Join(d.dir, "put-*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil || time.Since(fi.ModTime()) < orphanTmpAge {
+			continue
+		}
+		os.Remove(m)
+	}
 }
 
 // Dir returns the store's root directory.

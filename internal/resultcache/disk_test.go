@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func diskStore(t *testing.T) *DiskStore {
@@ -141,6 +142,47 @@ func TestDiskCachedSweepIdentical(t *testing.T) {
 	}
 	if st := warm.Stats(); st.HitRate() != 1 {
 		t.Fatalf("warm hit rate %.2f, want 1", st.HitRate())
+	}
+}
+
+// TestDiskOrphanTmpSweep: opening a store removes temp files a crashed
+// writer left behind — but only stale ones (a young temp file may belong
+// to a live writer in another process) and never valid entries.
+func TestDiskOrphanTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Put(testKey(1), []byte("survivor"))
+
+	// A crashed Put: the temp file exists, the rename never happened.
+	stale := filepath.Join(dir, "put-12345.tmp")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * orphanTmpAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A live writer's in-flight temp file (fresh mtime).
+	fresh := filepath.Join(dir, "put-67890.tmp")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale orphan temp file survived the opening sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file was swept: %v", err)
+	}
+	if v, ok := d2.Get(testKey(1)); !ok || string(v) != "survivor" {
+		t.Fatalf("valid entry disturbed by the sweep: v=%q ok=%v", v, ok)
 	}
 }
 

@@ -301,14 +301,14 @@ func (syncbenchWorkload) JSONRow(r Result) any {
 // ---- noc-synthetic schema ---------------------------------------------
 
 func (nocWorkload) TableInto(w *tabwriter.Writer, rows []Result) {
-	fmt.Fprintln(w, "topo\trouter\tpattern\trate\tseed\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tpeak-buf\tdelivered\t")
+	fmt.Fprintln(w, "topo\trouter\tpattern\trate\tseed\tcycles\tthroughput\tmean-lat\tp99-lat\tdefl/flit\tpeak-buf\tdelivered\t")
 	for _, r := range rows {
 		name := r.Pattern
 		if r.Bursty {
 			name = "bursty+" + name
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%d\t\n",
-			r.Topology, r.Router, name, r.Rate, r.Seed, r.Throughput, r.MeanLatency, r.P99Latency,
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%d\t%d\t%.3f\t%.1f\t%.0f\t%.2f\t%d\t%d\t\n",
+			r.Topology, r.Router, name, r.Rate, r.Seed, r.Cycles, r.Throughput, r.MeanLatency, r.P99Latency,
 			r.DeflectionRate, r.PeakBuffer, r.Delivered)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/dse"
@@ -11,6 +13,20 @@ import (
 	"repro/internal/par"
 	"repro/internal/resultcache"
 )
+
+// windowForkOff disables warm-snapshot sharing across measure_windows
+// (each window then re-simulates its own warmup). Results are
+// byte-identical either way — this is the escape hatch the CLI exposes
+// as -no-fork, mirroring sim.SetDefaultFastForward/-no-ffwd.
+var windowForkOff atomic.Bool
+
+// SetWindowFork enables or disables warm-snapshot sharing for
+// measure_windows sweeps (enabled by default).
+func SetWindowFork(on bool) { windowForkOff.Store(!on) }
+
+// WindowFork reports whether measure_windows sweeps share their warmup
+// prefix through engine snapshots.
+func WindowFork() bool { return !windowForkOff.Load() }
 
 // Result is one evaluated sweep point. NoC-synthetic points fill the
 // pattern/rate/seed axes and the network metrics; kernel points (jacobi,
@@ -140,6 +156,11 @@ func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 		pattern noc.Pattern
 		rate    float64
 		seed    int64
+		// Window-sweep points: every window of one (topology, router,
+		// pattern, rate, seed) tuple shares a group, so the warmup prefix
+		// simulates once and each window forks off its warm snapshot.
+		window int
+		group  *windowGroup
 	}
 	patterns := make([]noc.Pattern, 0, len(c.Patterns))
 	for _, name := range c.Patterns {
@@ -160,7 +181,14 @@ func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 			for _, p := range patterns {
 				for _, rate := range c.Rates {
 					for _, seed := range s.seedList() {
-						jobs = append(jobs, job{idx: len(jobs), topo: topo, router: router, pattern: p, rate: rate, seed: seed})
+						if len(c.MeasureWindows) == 0 {
+							jobs = append(jobs, job{idx: len(jobs), topo: topo, router: router, pattern: p, rate: rate, seed: seed})
+							continue
+						}
+						g := &windowGroup{}
+						for wi := range c.MeasureWindows {
+							jobs = append(jobs, job{idx: len(jobs), topo: topo, router: router, pattern: p, rate: rate, seed: seed, window: wi, group: g})
+						}
 					}
 				}
 			}
@@ -169,7 +197,13 @@ func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	if err := par.ForEachCtx(ctx, len(jobs), s.Parallelism, func(i int) error {
 		j := jobs[i]
-		r, err := runNoCPoint(ctx, s.Cache, j.topo, c, j.router, j.pattern, j.rate, j.seed)
+		var r Result
+		var err error
+		if j.group == nil {
+			r, err = runNoCPoint(ctx, s.Cache, j.topo, c, j.router, j.pattern, j.rate, j.seed)
+		} else {
+			r, err = runNoCWindowPoint(ctx, s.Cache, j.topo, c, j.router, j.pattern, j.rate, j.seed, j.window, j.group)
+		}
 		if err != nil {
 			return err
 		}
@@ -180,6 +214,24 @@ func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 		return nil, err
 	}
 	return results, nil
+}
+
+// windowGroup computes one warm-prefix group of a measure_windows sweep
+// exactly once: however many of its windows miss the result cache, the
+// first to need data runs noc.MeasureWindowsCtx for the whole group and
+// the rest share the measurements. A fully cache-served group never
+// simulates at all.
+type windowGroup struct {
+	once sync.Once
+	ms   []noc.Measurement
+	err  error
+}
+
+func (g *windowGroup) measurements(ctx context.Context, topo noc.Topology, mc noc.MeasureConfig, windows []int64) ([]noc.Measurement, error) {
+	g.once.Do(func() {
+		g.ms, g.err = noc.MeasureWindowsCtx(ctx, topo, mc, windows, WindowFork())
+	})
+	return g.ms, g.err
 }
 
 // nocPointValue is the cached measurement of one noc-synthetic point: the
@@ -216,6 +268,64 @@ func nocPointKey(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern
 	return b.Sum()
 }
 
+// nocMeasureConfig assembles the noc.MeasureConfig for one point.
+// Measure is left to the caller (a fixed window, or unset for a
+// measure_windows group).
+func nocMeasureConfig(c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed, measure int64) noc.MeasureConfig {
+	var burst *noc.BurstConfig
+	if c.Burst != nil {
+		burst = &noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}
+	}
+	return noc.MeasureConfig{
+		Router: router,
+		Traffic: noc.TrafficConfig{
+			Pattern:     pattern,
+			Rate:        rate,
+			HotspotNode: c.HotspotNode,
+			QueueCap:    c.QueueCap,
+			Burst:       burst,
+		},
+		Warmup:  c.WarmupCycles,
+		Measure: measure,
+		Seed:    seed,
+	}
+}
+
+// nocValueOf projects a Measurement onto the cached codec. CyclesSkipped
+// is deliberately dropped: it counts simulation work, not simulated
+// behaviour, so cached and fresh points stay byte-identical.
+func nocValueOf(m noc.Measurement) nocPointValue {
+	return nocPointValue{
+		Cycles:         m.Cycles,
+		Delivered:      m.Delivered,
+		Throughput:     m.Throughput,
+		MeanLatency:    m.MeanLatency,
+		P99Latency:     m.P99Latency,
+		DeflectionRate: m.DeflectionRate,
+		PeakBuffer:     m.PeakBuffer,
+	}
+}
+
+// nocResult reattaches the axis labels to a cached point value.
+func nocResult(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64, m nocPointValue) Result {
+	return Result{
+		Workload:       WorkloadNoC.String(),
+		Topology:       topo.Kind().String(),
+		Router:         router.String(),
+		Pattern:        pattern.String(),
+		Rate:           rate,
+		Seed:           seed,
+		Bursty:         c.Burst != nil,
+		Cycles:         m.Cycles,
+		Delivered:      m.Delivered,
+		Throughput:     m.Throughput,
+		MeanLatency:    m.MeanLatency,
+		P99Latency:     m.P99Latency,
+		DeflectionRate: m.DeflectionRate,
+		PeakBuffer:     m.PeakBuffer,
+	}
+}
+
 // runNoCPoint simulates one (topology, router, pattern, rate, seed) point
 // through noc.MeasureCtx, the execution path shared with
 // dse.RouterAblation, dse.TopologyAblation and cmd/medea-noc, recalling it
@@ -225,37 +335,13 @@ func runNoCPoint(ctx context.Context, rc *resultcache.Cache, topo noc.Topology, 
 	if measure == 0 {
 		measure = 5000
 	}
-	var burst *noc.BurstConfig
-	if c.Burst != nil {
-		burst = &noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}
-	}
 	key := nocPointKey(topo, c, router, pattern, rate, seed, measure)
 	buf, _, err := rc.GetOrCompute(key, func() ([]byte, error) {
-		m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{
-			Router: router,
-			Traffic: noc.TrafficConfig{
-				Pattern:     pattern,
-				Rate:        rate,
-				HotspotNode: c.HotspotNode,
-				QueueCap:    c.QueueCap,
-				Burst:       burst,
-			},
-			Warmup:  c.WarmupCycles,
-			Measure: measure,
-			Seed:    seed,
-		})
+		m, err := noc.MeasureCtx(ctx, topo, nocMeasureConfig(c, router, pattern, rate, seed, measure))
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(nocPointValue{
-			Cycles:         m.Cycles,
-			Delivered:      m.Delivered,
-			Throughput:     m.Throughput,
-			MeanLatency:    m.MeanLatency,
-			P99Latency:     m.P99Latency,
-			DeflectionRate: m.DeflectionRate,
-			PeakBuffer:     m.PeakBuffer,
-		})
+		return json.Marshal(nocValueOf(m))
 	})
 	if err != nil {
 		return Result{}, err
@@ -264,20 +350,32 @@ func runNoCPoint(ctx context.Context, rc *resultcache.Cache, topo noc.Topology, 
 	if err := json.Unmarshal(buf, &m); err != nil {
 		return Result{}, fmt.Errorf("scenario: decoding cached noc point %s: %w", key, err)
 	}
-	return Result{
-		Workload:       WorkloadNoC.String(),
-		Topology:       topo.Kind().String(),
-		Router:         router.String(),
-		Pattern:        pattern.String(),
-		Rate:           rate,
-		Seed:           seed,
-		Bursty:         burst != nil,
-		Cycles:         m.Cycles,
-		Delivered:      m.Delivered,
-		Throughput:     m.Throughput,
-		MeanLatency:    m.MeanLatency,
-		P99Latency:     m.P99Latency,
-		DeflectionRate: m.DeflectionRate,
-		PeakBuffer:     m.PeakBuffer,
-	}, nil
+	return nocResult(topo, c, router, pattern, rate, seed, m), nil
+}
+
+// runNoCWindowPoint resolves one window of a measure_windows sweep. Its
+// cache key is exactly the key a plain measure_cycles point with this
+// window length would use — warm-snapshot forking is byte-identical to
+// independent simulation (noc.MeasureWindowsCtx's contract, enforced by
+// the differential tests), so the two entry kinds interchange in the
+// store. On a miss, the whole group simulates once through the shared
+// windowGroup and this point takes its window's measurement.
+func runNoCWindowPoint(ctx context.Context, rc *resultcache.Cache, topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64, wi int, g *windowGroup) (Result, error) {
+	windows := c.MeasureWindows
+	key := nocPointKey(topo, c, router, pattern, rate, seed, windows[wi])
+	buf, _, err := rc.GetOrCompute(key, func() ([]byte, error) {
+		ms, err := g.measurements(ctx, topo, nocMeasureConfig(c, router, pattern, rate, seed, 0), windows)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(nocValueOf(ms[wi]))
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var m nocPointValue
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return Result{}, fmt.Errorf("scenario: decoding cached noc point %s: %w", key, err)
+	}
+	return nocResult(topo, c, router, pattern, rate, seed, m), nil
 }

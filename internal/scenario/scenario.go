@@ -134,8 +134,17 @@ type NoCConfig struct {
 	Burst *BurstConfig `json:"burst,omitempty"`
 	// WarmupCycles run before measurement starts (default 0).
 	WarmupCycles int64 `json:"warmup_cycles,omitempty"`
-	// MeasureCycles is the measurement window (default 5000).
+	// MeasureCycles is the measurement window (default 5000). Mutually
+	// exclusive with MeasureWindows.
 	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+	// MeasureWindows sweeps the measurement-window length itself: every
+	// point runs once per listed window, and all windows of one
+	// (topology, router, pattern, rate, seed) point share a single warmup
+	// prefix via an engine snapshot instead of re-simulating it (see
+	// noc.MeasureWindowsCtx; disable with SetWindowFork or the CLI's
+	// -no-fork). Results are byte-identical to independent runs either
+	// way. Mutually exclusive with MeasureCycles.
+	MeasureWindows []int64 `json:"measure_windows,omitempty"`
 }
 
 // BurstConfig mirrors noc.BurstConfig in the JSON schema.
@@ -419,6 +428,16 @@ func (c *NoCConfig) validate() error {
 	if c.MeasureCycles < 0 {
 		return fmt.Errorf(`"noc.measure_cycles" must be >= 0, got %d`, c.MeasureCycles)
 	}
+	if len(c.MeasureWindows) > 0 {
+		if c.MeasureCycles != 0 {
+			return fmt.Errorf(`set either "noc.measure_cycles" or "noc.measure_windows", not both`)
+		}
+		for _, w := range c.MeasureWindows {
+			if w <= 0 {
+				return fmt.Errorf(`"noc.measure_windows": window %d must be positive`, w)
+			}
+		}
+	}
 	return nil
 }
 
@@ -573,8 +592,12 @@ func (s *Scenario) NumPoints() int {
 		return 0
 	}
 	if kinds[0] == WorkloadNoC {
-		return len(s.NoC.topologyList()) * len(s.NoC.routerList()) *
+		n := len(s.NoC.topologyList()) * len(s.NoC.routerList()) *
 			len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
+		if w := len(s.NoC.MeasureWindows); w > 0 {
+			n *= w
+		}
+		return n
 	}
 	c := s.kernelConfig()
 	pols := len(c.Policies)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -71,14 +72,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, err)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 	default:
 		writeJSON(w, http.StatusAccepted, st)
 	}
+}
+
+// retryAfterSeconds renders a backpressure hint as whole seconds, never
+// below 1: "Retry-After: 0" tells clients to retry immediately, which
+// turns the 429 path into a tight retry storm — exactly what the header
+// exists to prevent. Sub-second and unset/negative durations (a Server
+// constructed without withDefaults) all clamp up to 1.
+func retryAfterSeconds(d time.Duration) int {
+	if s := int(math.Ceil(d.Seconds())); s > 1 {
+		return s
+	}
+	return 1
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

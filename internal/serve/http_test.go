@@ -174,6 +174,65 @@ func TestHTTPQueueFull429(t *testing.T) {
 	}
 }
 
+// TestRetryAfterClamp pins the backpressure hint's floor. "Retry-After: 0"
+// is an immediate-retry instruction — it turns every 429 into a hot retry
+// loop — so the rendered value clamps to at least 1 whatever the config
+// holds (zero, negative, or sub-second durations included).
+func TestRetryAfterClamp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{time.Minute, 60},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPRetryAfterSubSecond drives the clamp end to end: a daemon
+// configured with a sub-second hint must still advertise a whole positive
+// second on its 429s.
+func TestHTTPRetryAfterSubSecond(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	s := New(Config{
+		Workers: 1, QueueDepth: 1, RetryAfter: 100 * time.Millisecond,
+		Runner: blockingRunner(started, release),
+	})
+	defer shutdownAll(t, s, release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp := post(t, ts, smallScenarioJSON)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("warm-up submit %d: status %d", i, resp.StatusCode)
+		}
+		if i == 0 {
+			<-started
+		}
+	}
+	resp := post(t, ts, smallScenarioJSON)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q (clamped up from 100ms)", ra, "1")
+	}
+}
+
 func TestHTTPResultConflictStates(t *testing.T) {
 	started := make(chan string, 1)
 	release := make(chan struct{}) // never closed

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// eventComp is a component that wakes at fixed intervals: it reports its
+// next multiple-of-period cycle and counts both real steps and skip
+// notifications.
+type eventComp struct {
+	FuncComponent
+	period  int64
+	steps   int64
+	skipped int64
+}
+
+func newEventComp(name string, period int64) *eventComp {
+	c := &eventComp{period: period}
+	c.ComponentName = name
+	c.Fn = func(int64) { c.steps++ }
+	return c
+}
+
+func (c *eventComp) NextEvent(now int64) int64 {
+	if now%c.period == 0 {
+		return now
+	}
+	return now + (c.period - now%c.period)
+}
+
+func (c *eventComp) Skipped(from, to int64) { c.skipped += to - from }
+
+func TestFastForwardSkipsIdleCycles(t *testing.T) {
+	e := NewEngine()
+	c := newEventComp("ev", 100)
+	e.Register(PhaseNode, c)
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %d, want 1000", e.Now())
+	}
+	// The component acts at 0, 100, ..., 900: 10 real ticks, everything
+	// between skipped.
+	if c.steps != 10 {
+		t.Errorf("steps = %d, want 10", c.steps)
+	}
+	if e.CyclesSkipped() != 990 {
+		t.Errorf("CyclesSkipped() = %d, want 990", e.CyclesSkipped())
+	}
+	if c.skipped != e.CyclesSkipped() {
+		t.Errorf("Skipped notifications cover %d cycles, engine skipped %d", c.skipped, e.CyclesSkipped())
+	}
+}
+
+func TestFastForwardDisabled(t *testing.T) {
+	e := NewEngine()
+	e.SetFastForward(false)
+	c := newEventComp("ev", 100)
+	e.Register(PhaseNode, c)
+	e.Run(1000)
+	if c.steps != 1000 || e.CyclesSkipped() != 0 {
+		t.Errorf("with fast-forward off: steps = %d (want 1000), skipped = %d (want 0)", c.steps, e.CyclesSkipped())
+	}
+}
+
+func TestFastForwardNeedsAllEventers(t *testing.T) {
+	e := NewEngine()
+	e.Register(PhaseNode, newEventComp("ev", 100))
+	// A component without NextEvent makes the whole engine unskippable.
+	e.Register(PhaseNode, &FuncComponent{ComponentName: "plain", Fn: func(int64) {}})
+	e.Run(1000)
+	if e.CyclesSkipped() != 0 {
+		t.Errorf("CyclesSkipped() = %d with a capability-less component registered", e.CyclesSkipped())
+	}
+}
+
+func TestFastForwardVetoedByRegisterTraffic(t *testing.T) {
+	e := NewEngine()
+	r := NewReg[int](e, "r")
+	c := newEventComp("ev", 100)
+	c.Fn = func(now int64) {
+		c.steps++
+		if now < 50 {
+			r.Set(int(now)) // keeps the engine non-quiet for 50 cycles
+		}
+	}
+	e.Register(PhaseNode, c)
+	e.Run(100)
+	// Cycles 1..50 see a committed register (engine not quiet), so ticking
+	// must continue despite NextEvent pointing at cycle 100; only after the
+	// pipeline drains may the engine jump.
+	if c.steps < 51 {
+		t.Errorf("steps = %d, want >= 51 (no skipping while registers are live)", c.steps)
+	}
+	if e.CyclesSkipped() == 0 {
+		t.Error("engine never skipped after the register traffic drained")
+	}
+}
+
+func TestFastForwardRespectsRunBoundary(t *testing.T) {
+	e := NewEngine()
+	e.Register(PhaseNode, newEventComp("ev", 1000))
+	e.Run(300)
+	if e.Now() != 300 {
+		t.Fatalf("Now() = %d, want exactly 300 (jump must clamp at the run boundary)", e.Now())
+	}
+	e.Run(300)
+	if e.Now() != 600 {
+		t.Fatalf("Now() = %d, want 600", e.Now())
+	}
+}
+
+func TestRunUntilCtxFastForward(t *testing.T) {
+	e := NewEngine()
+	c := newEventComp("ev", 500)
+	e.Register(PhaseNode, c)
+	err := e.RunUntilCtx(context.Background(), func() bool { return e.Now() >= 1500 }, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() < 1500 || e.CyclesSkipped() == 0 {
+		t.Errorf("Now() = %d, skipped = %d", e.Now(), e.CyclesSkipped())
+	}
+}
+
+// TestRunCtxCancellationAcrossShortRuns is the regression test for the
+// context-poll bug: the poll countdown used to be local to each run call,
+// so a driver issuing many short runs (each shorter than the poll
+// interval) never observed cancellation. The countdown now lives on the
+// engine and carries across calls.
+func TestRunCtxCancellationAcrossShortRuns(t *testing.T) {
+	e := NewEngine()
+	e.Register(PhaseNode, &FuncComponent{ComponentName: "busy", Fn: func(int64) {}})
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := e.RunCtx(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	start := e.Now()
+	var err error
+	calls := 0
+	for calls < 100 {
+		calls++
+		if err = e.RunCtx(ctx, 100); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation never observed across %d short runs (err = %v)", calls, err)
+	}
+	if ran := e.Now() - start; ran > ctxCheckInterval {
+		t.Errorf("ran %d cycles after cancellation, want <= %d", ran, ctxCheckInterval)
+	}
+}

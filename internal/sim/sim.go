@@ -76,6 +76,9 @@ type Engine struct {
 	// enqueueing a register is a pointer-free int32 append (no GC write
 	// barrier on the per-cycle path).
 	commitFns []commitFunc
+	// regSnaps holds the registers' snapshot/restore closures, parallel to
+	// commitFns; used only by Snapshot/Restore, never on the tick path.
+	regSnaps []regSnapFns
 	// dirty holds the registers written during the current cycle (enqueued
 	// by Reg.Set); only these commit at the end of the cycle. spare
 	// recycles the previous cycle's backing array so steady-state ticking
@@ -83,16 +86,38 @@ type Engine struct {
 	dirty []int32
 	spare []int32
 	cycle int64
+
+	// Idle fast-forward state (see ffwd.go). eventers/skippers cache the
+	// capability interfaces of the registered components; nonEventers
+	// counts components that cannot report a next-event cycle (any such
+	// component disables fast-forward for the whole engine). quiet tracks
+	// whether the previous Tick committed nothing, i.e. no register holds
+	// an observable value in the current cycle.
+	eventers      []NextEventer
+	skippers      []Skipper
+	nonEventers   int
+	quiet         bool
+	ffwdOff       bool
+	cyclesSkipped int64
+	// ctxCheckAt is the next cycle at which the context-aware run loops
+	// poll for cancellation. It lives on the engine, not in the loops, so
+	// a job composed of many short RunCtx calls still observes
+	// cancellation within ctxCheckInterval cycles overall.
+	ctxCheckAt int64
 }
 
-// addReg registers a commit function and returns the register's index.
-func (e *Engine) addReg(fn commitFunc) int32 {
+// addReg registers a commit function plus the snapshot/restore pair for
+// the same register and returns the register's index.
+func (e *Engine) addReg(fn commitFunc, snap func() any, restore func(any)) int32 {
 	e.commitFns = append(e.commitFns, fn)
+	e.regSnaps = append(e.regSnaps, regSnapFns{snap: snap, restore: restore})
 	return int32(len(e.commitFns) - 1)
 }
 
 // NewEngine returns an empty engine at cycle 0.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	return &Engine{quiet: true, ffwdOff: !DefaultFastForward()}
+}
 
 // Register adds a component to the given phase. Components in lower phases
 // step before components in higher phases within one cycle.
@@ -101,6 +126,14 @@ func (e *Engine) Register(phase int, c Component) {
 		panic(fmt.Sprintf("sim: invalid phase %d", phase))
 	}
 	e.phases[phase] = append(e.phases[phase], c)
+	if ev, ok := c.(NextEventer); ok {
+		e.eventers = append(e.eventers, ev)
+	} else {
+		e.nonEventers++
+	}
+	if sk, ok := c.(Skipper); ok {
+		e.skippers = append(e.skippers, sk)
+	}
 }
 
 // Now returns the current cycle number.
@@ -126,6 +159,9 @@ func (e *Engine) Tick() {
 	for _, i := range e.dirty {
 		fns[i](visibleAt)
 	}
+	// An empty dirty list means no register holds an observable value next
+	// cycle — the precondition for idle fast-forward (see ffwd.go).
+	e.quiet = len(e.dirty) == 0
 	e.dirty, e.spare = e.spare[:0], e.dirty[:0]
 	e.cycle++
 }
@@ -148,31 +184,54 @@ func (e *Engine) RunUntil(done func() bool, maxCycles int64) error {
 // invisible on the tick path.
 const ctxCheckInterval = 1024
 
+// pollCtx checks for cancellation when the engine clock has reached the
+// next poll point. The poll point is engine state, not loop state: a job
+// composed of many short RunCtx calls advances toward the same poll point
+// across calls and still observes cancellation within ctxCheckInterval
+// cycles overall (a sequence of sub-interval runs previously never
+// polled).
+func (e *Engine) pollCtx(ctx context.Context) error {
+	if e.cycle < e.ctxCheckAt {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: run canceled at cycle %d: %w", e.cycle, err)
+	}
+	e.ctxCheckAt = e.cycle + ctxCheckInterval
+	return nil
+}
+
 // RunUntilCtx is RunUntil with cooperative cancellation: the context is
 // polled every ctxCheckInterval cycles, so a canceled or deadline-exceeded
 // run stops in bounded time (mid-simulation, not at run granularity) and
 // returns the context's error.
 func (e *Engine) RunUntilCtx(ctx context.Context, done func() bool, maxCycles int64) error {
 	deadline := e.cycle + maxCycles
-	check := e.cycle + ctxCheckInterval
 	for !done() {
 		if e.cycle >= deadline {
 			return fmt.Errorf("%w after %d cycles", ErrTimeout, maxCycles)
 		}
-		if e.cycle >= check {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("sim: run canceled at cycle %d: %w", e.cycle, err)
-			}
-			check = e.cycle + ctxCheckInterval
+		if err := e.pollCtx(ctx); err != nil {
+			return err
+		}
+		e.maybeFastForward(deadline)
+		if e.cycle >= deadline {
+			continue // jumped to the deadline: re-check done, then time out
 		}
 		e.Tick()
 	}
 	return nil
 }
 
-// Run ticks the engine for exactly n cycles.
+// Run ticks the engine for n cycles (fewer ticks when idle fast-forward
+// jumps the clock; the engine still ends exactly n cycles later).
 func (e *Engine) Run(n int64) {
-	for i := int64(0); i < n; i++ {
+	end := e.cycle + n
+	for e.cycle < end {
+		e.maybeFastForward(end)
+		if e.cycle >= end {
+			break
+		}
 		e.Tick()
 	}
 }
@@ -181,11 +240,14 @@ func (e *Engine) Run(n int64) {
 // ctxCheckInterval cycles; it returns the context's error if canceled
 // mid-run, leaving the engine at the cycle it stopped on.
 func (e *Engine) RunCtx(ctx context.Context, n int64) error {
-	for i := int64(0); i < n; i++ {
-		if i%ctxCheckInterval == ctxCheckInterval-1 {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("sim: run canceled at cycle %d: %w", e.cycle, err)
-			}
+	end := e.cycle + n
+	for e.cycle < end {
+		if err := e.pollCtx(ctx); err != nil {
+			return err
+		}
+		e.maybeFastForward(end)
+		if e.cycle >= end {
+			break
 		}
 		e.Tick()
 	}
@@ -212,8 +274,26 @@ type Reg[T any] struct {
 // NewReg creates a register attached to the engine.
 func NewReg[T any](e *Engine, name string) *Reg[T] {
 	r := &Reg[T]{eng: e, name: name, validAt: -1}
-	r.idx = e.addReg(r.commit)
+	r.idx = e.addReg(r.commit, r.snapshot, r.restore)
 	return r
+}
+
+// regSnap is one register's checkpointed state: the committed value and
+// the single cycle during which it is observable. Pending writes are
+// excluded by construction — Snapshot refuses to run with a non-empty
+// dirty list.
+type regSnap[T any] struct {
+	cur     T
+	validAt int64
+}
+
+// snapshot captures the register for Engine.Snapshot.
+func (r *Reg[T]) snapshot() any { return regSnap[T]{cur: r.cur, validAt: r.validAt} }
+
+// restore reinstates a snapshot taken from this same register.
+func (r *Reg[T]) restore(s any) {
+	rs := s.(regSnap[T])
+	r.cur, r.validAt, r.written = rs.cur, rs.validAt, false
 }
 
 // Valid reports whether the register currently holds a value.

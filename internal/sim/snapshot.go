@@ -1,0 +1,100 @@
+package sim
+
+// Checkpoint/fork: Snapshot captures the complete simulation state —
+// engine clock, register file, and every component's state — and Restore
+// reinstates it on the same engine, so sweep points sharing a warmup
+// prefix can fork from one warm snapshot instead of re-simulating the
+// warmup per point. Snapshots are cheap in-memory value copies, not
+// serialized bytes: the fork always happens inside one process, on the
+// engine that produced the snapshot.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Checkpointable is the optional component capability behind
+// checkpoint/fork. Snapshot returns an opaque value copy of the
+// component's complete mutable state; Restore reinstates a value
+// previously returned by the same component's Snapshot. Components built
+// on goroutines (the PE program wrappers) cannot implement it — their
+// engines refuse to snapshot, and the sweep layers fall back to
+// re-simulating warmup.
+type Checkpointable interface {
+	Snapshot() any
+	Restore(snap any)
+}
+
+// regSnapFns is one register's snapshot/restore closure pair, registered
+// alongside its commit function by NewReg.
+type regSnapFns struct {
+	snap    func() any
+	restore func(any)
+}
+
+// Snapshot is a point-in-time copy of an engine's complete state. It is
+// only meaningful to the engine that produced it.
+type Snapshot struct {
+	cycle         int64
+	cyclesSkipped int64
+	quiet         bool
+	regs          []any
+	comps         []any
+}
+
+// Cycle returns the engine clock at the time of the snapshot.
+func (s *Snapshot) Cycle() int64 { return s.cycle }
+
+// Snapshot captures the engine's state between cycles. It fails if any
+// registered component does not implement Checkpointable, or if called
+// mid-cycle with uncommitted register writes.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	if len(e.dirty) != 0 {
+		return nil, errors.New("sim: snapshot with uncommitted register writes (only between cycles)")
+	}
+	s := &Snapshot{cycle: e.cycle, cyclesSkipped: e.cyclesSkipped, quiet: e.quiet}
+	s.regs = make([]any, len(e.regSnaps))
+	for i, r := range e.regSnaps {
+		s.regs[i] = r.snap()
+	}
+	for p := 0; p < numPhases; p++ {
+		for _, c := range e.phases[p] {
+			cp, ok := c.(Checkpointable)
+			if !ok {
+				return nil, fmt.Errorf("sim: component %s is not checkpointable", c.Name())
+			}
+			s.comps = append(s.comps, cp.Snapshot())
+		}
+	}
+	return s, nil
+}
+
+// Restore reinstates a snapshot previously taken from this same engine
+// (same registers, same components, in the same order).
+func (e *Engine) Restore(s *Snapshot) error {
+	if len(s.regs) != len(e.regSnaps) {
+		return fmt.Errorf("sim: snapshot has %d registers, engine has %d (foreign snapshot?)",
+			len(s.regs), len(e.regSnaps))
+	}
+	n := 0
+	for p := 0; p < numPhases; p++ {
+		n += len(e.phases[p])
+	}
+	if len(s.comps) != n {
+		return fmt.Errorf("sim: snapshot has %d components, engine has %d (foreign snapshot?)",
+			len(s.comps), n)
+	}
+	e.cycle, e.cyclesSkipped, e.quiet = s.cycle, s.cyclesSkipped, s.quiet
+	e.dirty = e.dirty[:0]
+	for i, r := range e.regSnaps {
+		r.restore(s.regs[i])
+	}
+	i := 0
+	for p := 0; p < numPhases; p++ {
+		for _, c := range e.phases[p] {
+			c.(Checkpointable).Restore(s.comps[i])
+			i++
+		}
+	}
+	return nil
+}

@@ -58,6 +58,10 @@ type Result struct {
 	MPMMUBusy int64
 	// NoCFlits is the message-path traffic over the run.
 	NoCFlits int64
+	// CyclesSkipped counts cycles the engine fast-forwarded over instead
+	// of ticking (a performance counter; every measured figure above is
+	// byte-identical whatever its value).
+	CyclesSkipped int64
 }
 
 // Measure runs rounds synchronization episodes on cores compute cores
@@ -112,6 +116,7 @@ func MeasureWithCtx(ctx context.Context, kind Kind, cfg core.Config, rounds int)
 		CyclesPerRound: (t1[0] - t0[0]) / int64(rounds),
 		MPMMUBusy:      sys.MPMMUBusyTotal(),
 		NoCFlits:       sys.Net.Stats.Delivered.Value(),
+		CyclesSkipped:  sys.Engine.CyclesSkipped(),
 	}, nil
 }
 

@@ -221,6 +221,25 @@ func (p *Port) TryRecv(src int, class Class) (Packet, bool) {
 	return q.Pop()
 }
 
+// HasRecv reports, without consuming it, whether a complete packet from
+// src with the given class is waiting. The core's fast-forward idle check
+// uses it to stay passive only while a receive provably cannot complete.
+func (p *Port) HasRecv(src int, class Class) bool {
+	q := p.ready[asmKey{src: src, class: class}]
+	return q != nil && q.Len() > 0
+}
+
+// HasRecvAny reports whether a complete packet of the given class from
+// any source is waiting, without consuming it.
+func (p *Port) HasRecvAny(class Class) bool {
+	for src := 0; src < p.maxNodes; src++ {
+		if p.HasRecv(src, class) {
+			return true
+		}
+	}
+	return false
+}
+
 // TryRecvAny pops the oldest complete packet of the given class from any
 // source, scanning node ids in ascending order for determinism.
 func (p *Port) TryRecvAny(class Class) (Packet, bool) {
