@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"os"
 	"runtime"
 	"time"
 
@@ -18,13 +19,16 @@ import (
 	"repro/internal/noc"
 	"repro/internal/perfledger"
 	"repro/internal/resultcache"
+	"repro/internal/scenario"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
 // benchTrajectory runs the reference trajectory and writes the snapshot
-// to path. The reference sweep is fig8-quick (28 jacobi points, the same
-// grid as examples/scenarios/fig8-quick.json and the golden tests).
-func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
+// to path (refusing to clobber an existing file unless force). The
+// reference sweep is fig8-quick (28 jacobi points, the same grid as
+// examples/scenarios/fig8-quick.json and the golden tests).
+func benchTrajectory(ctx context.Context, path string, force bool, stdout io.Writer) error {
 	opts := dse.Fig8Options(dse.Quick)
 
 	run := func(c *resultcache.Cache) (string, time.Duration, error) {
@@ -77,15 +81,26 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 	}
 	ffSpeedup := float64(ffOffDur) / float64(ffOnDur)
 
+	log.Printf("bench-json: fig8-quick cold, single-process vs 4 shard workers (parallelism 1 each)")
+	singleDur, shardedDur, err := benchSharded(ctx)
+	if err != nil {
+		return err
+	}
+	shardSpeedup := float64(singleDur) / float64(shardedDur)
+
 	// The ledger root commits to the reference result rows (one CSV row
 	// per leaf, header excluded): equal roots across snapshots mean the
 	// reference results are still byte-identical.
 	root := csvMerkleRoot(offCSV)
 	points := float64(cold.Stats().Computes)
 	speedup := float64(coldDur) / float64(warmDur)
+	host, _ := os.Hostname()
+	cpus := runtime.NumCPU()
 	snap := &perfledger.Snapshot{
 		Date:        time.Now().UTC().Format("2006-01-02"),
 		GoVersion:   runtime.Version(),
+		Host:        host,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		CodeVersion: resultcache.CodeVersion,
 		Entries: []perfledger.Entry{
 			{Name: "fig8-quick/cache-off", NsPerOp: float64(offDur.Nanoseconds()), Metrics: map[string]float64{"points": points}},
@@ -93,6 +108,8 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 			{Name: "fig8-quick/mem-warm", NsPerOp: float64(warmDur.Nanoseconds()), Metrics: map[string]float64{"points": points, "hit_rate": ws.HitRate()}},
 			{Name: "noc-lowload/ffwd-off", NsPerOp: float64(ffOffDur.Nanoseconds()), Metrics: map[string]float64{"cycles": float64(ffCycles)}},
 			{Name: "noc-lowload/ffwd-on", NsPerOp: float64(ffOnDur.Nanoseconds()), Metrics: map[string]float64{"cycles": float64(ffCycles), "cycles_skipped": float64(ffSkipped), "speedup": ffSpeedup}},
+			{Name: "fig8-quick/single-1", NsPerOp: float64(singleDur.Nanoseconds()), Metrics: map[string]float64{"points": points, "cpus": float64(cpus)}},
+			{Name: "fig8-quick/sharded-4x1", NsPerOp: float64(shardedDur.Nanoseconds()), Metrics: map[string]float64{"points": points, "shards": 4, "speedup": shardSpeedup, "cpus": float64(cpus)}},
 		},
 		Cache: perfledger.CacheSummary{
 			ColdNs:  coldDur.Nanoseconds(),
@@ -104,7 +121,11 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 		},
 		MerkleRoot: root,
 	}
-	if err := snap.Write(path); err != nil {
+	write := snap.WriteNew
+	if force {
+		write = snap.Write
+	}
+	if err := write(path); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s: cache-off %s, cold %s, warm %s (%.0fx; hit rate %.0f%%), merkle root %s\n",
@@ -112,6 +133,8 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 		speedup, 100*ws.HitRate(), root)
 	fmt.Fprintf(stdout, "fast-forward: low-load noc %s -> %s (%.1fx; %d of %d cycles skipped)\n",
 		ffOffDur.Round(time.Millisecond), ffOnDur.Round(time.Millisecond), ffSpeedup, ffSkipped, ffCycles)
+	fmt.Fprintf(stdout, "sharded: fig8-quick cold %s single -> %s on 4 workers (%.1fx on %d cpus)\n",
+		singleDur.Round(time.Millisecond), shardedDur.Round(time.Millisecond), shardSpeedup, cpus)
 	if speedup < 5 {
 		// The trajectory's reason to exist: a warm rerun must be far
 		// cheaper than a cold one. Tripping this means the cache stopped
@@ -125,7 +148,70 @@ func benchTrajectory(ctx context.Context, path string, stdout io.Writer) error {
 		// machinery overhead) even though results are still identical.
 		return fmt.Errorf("bench-json: fast-forward only %.1fx faster on the low-load sweep (want >= 2x)", ffSpeedup)
 	}
+	if cpus >= 2 && shardSpeedup < 1.8 {
+		// Sharding's acceptance bar: with both sides pinned to one
+		// simulation at a time per process, 4 worker processes on a
+		// multi-core box must come in >= 1.8x faster — that is the
+		// scale-out curve a multi-machine fleet would follow. On a 1-CPU
+		// box the processes serialize and the bar is physically
+		// unreachable, so only the byte-identity is enforced there.
+		return fmt.Errorf("bench-json: 4 shard workers only %.1fx faster than single-process on %d cpus (want >= 1.8x)", shardSpeedup, cpus)
+	}
 	return nil
+}
+
+// benchSharded times a cold fig8-quick sweep single-process against 4
+// shard worker processes, both capped at one simulation at a time per
+// process so the comparison isolates the fan-out's scaling (the way a
+// multi-machine fleet would scale) rather than re-measuring in-process
+// goroutine parallelism. The two runs must render byte-identically and
+// agree on the Merkle root before the timings count.
+func benchSharded(ctx context.Context) (singleDur, shardedDur time.Duration, err error) {
+	o := dse.Fig8Options(dse.Quick)
+	s, err := sweepScenario("fig8-quick", o)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.Parallelism = 1
+
+	start := time.Now()
+	single, err := scenario.RunCtx(ctx, s)
+	if err != nil {
+		return 0, 0, err
+	}
+	singleDur = time.Since(start)
+
+	exe, err := os.Executable()
+	if err != nil {
+		return 0, 0, err
+	}
+	co := &shard.Coordinator{
+		NewWorker: shard.ProcFactory(shard.ProcSpec{Command: []string{exe, "-worker"}}),
+		Shards:    4,
+		Workers:   4,
+	}
+	start = time.Now()
+	merged, _, err := co.Run(ctx, s)
+	if err != nil {
+		return 0, 0, err
+	}
+	shardedDur = time.Since(start)
+
+	singleCSV, err := scenario.Render(single, scenario.FormatCSV)
+	if err != nil {
+		return 0, 0, err
+	}
+	mergedCSV, err := scenario.Render(merged, scenario.FormatCSV)
+	if err != nil {
+		return 0, 0, err
+	}
+	if mergedCSV != singleCSV {
+		return 0, 0, fmt.Errorf("bench-json: sharded results differ from single-process results")
+	}
+	if sr, mr := scenario.MerkleRoot(single), scenario.MerkleRoot(merged); sr != mr {
+		return 0, 0, fmt.Errorf("bench-json: sharded merkle root %s != single-process root %s", mr, sr)
+	}
+	return singleDur, shardedDur, nil
 }
 
 // benchFastForward times the same low-load NoC measurement with idle

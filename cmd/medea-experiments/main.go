@@ -35,6 +35,8 @@ import (
 	"repro/internal/dse"
 	"repro/internal/jacobi"
 	"repro/internal/par"
+	"repro/internal/scenario"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -77,7 +79,13 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := fs.String("bench-json", "", "run the fig8-quick cache trajectory (off/cold/warm, byte-identity enforced) and write a BENCH_<date>.json perf snapshot to this path")
+	benchForce := fs.Bool("bench-json-force", false, "overwrite an existing -bench-json snapshot instead of refusing")
 	noFFwd := fs.Bool("no-ffwd", false, "disable idle fast-forward (tick every cycle; output is byte-identical either way)")
+	parallelism := fs.Int("parallelism", 0, "max concurrent simulations per process (0 = GOMAXPROCS); with -shards, shards x parallelism simulations run fleet-wide")
+	shards := fs.Int("shards", 0, "figs 6|7|8|9: split the sweep into this many shards run by worker processes and merge (0 = single-process; output is byte-identical either way)")
+	workers := fs.Int("workers", 0, "max concurrently running shard workers (0 = one per shard)")
+	workerCmd := fs.String("worker-cmd", "", "worker command for sharded runs, space-separated (default: this binary re-exec'd with -worker)")
+	workerMode := fs.Bool("worker", false, "serve the shard worker protocol on stdin/stdout (started by a coordinator, not by hand)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: medea-experiments [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Regenerates the paper's figures and the beyond-paper kernel ablation\n")
@@ -99,8 +107,24 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	if *noFFwd {
 		sim.SetDefaultFastForward(false)
 	}
+	if *parallelism != 0 {
+		dse.SetDefaultParallelism(*parallelism)
+	}
+	if *workerMode {
+		return shard.ServeWorker(ctx, os.Stdin, stdout, nil)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
+	if *shards > 0 {
+		switch *fig {
+		case "6", "7", "8", "9":
+		default:
+			return fmt.Errorf("-shards only applies to the sweep figures (-fig 6|7|8|9), got -fig %s", *fig)
+		}
+	}
 	if *benchJSON != "" {
-		return benchTrajectory(ctx, *benchJSON, stdout)
+		return benchTrajectory(ctx, *benchJSON, *benchForce, stdout)
 	}
 
 	if *cpuprofile != "" {
@@ -137,27 +161,38 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		fid = dse.Full
 	}
 
+	// figPoints runs a figure's sweep grid: single-process through
+	// dse.SweepCtx (the exact Fig6Ctx/Fig8Ctx path), or sharded across
+	// worker processes — the merged rows are byte-identical, so the
+	// rendered figures are too.
+	figPoints := func(name string, o dse.Options) ([]dse.Point, error) {
+		if *shards == 0 {
+			return dse.SweepCtx(ctx, o)
+		}
+		return runShardedSweep(ctx, name, o, *shards, *workers, *parallelism, *workerCmd, *noFFwd)
+	}
+
 	switch *fig {
 	case "6":
-		t, _, err := dse.Fig6Ctx(ctx, fid)
+		pts, err := figPoints("fig6", dse.Fig6Options(fid))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, t)
+		fmt.Fprintln(stdout, dse.Fig6Table(pts, dse.Fig6Title))
 	case "7":
-		_, pts, err := dse.Fig6Ctx(ctx, fid)
+		pts, err := figPoints("fig7", dse.Fig6Options(fid))
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, dse.Fig7(pts))
 	case "8":
-		t, _, err := dse.Fig8Ctx(ctx, fid)
+		pts, err := figPoints("fig8", dse.Fig8Options(fid))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, t)
+		fmt.Fprintln(stdout, dse.Fig6Table(pts, dse.Fig8Title))
 	case "9":
-		_, pts, err := dse.Fig8Ctx(ctx, fid)
+		pts, err := figPoints("fig9", dse.Fig8Options(fid))
 		if err != nil {
 			return err
 		}
@@ -225,6 +260,70 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	return nil
+}
+
+// sweepScenario expresses a figure's dse.Options as the equivalent
+// declarative scenario, the unit the shard coordinator distributes. The
+// two run the same execution path (scenario kernel workloads delegate to
+// dse.SweepCtx), so the round-trip is byte-exact — the golden tests
+// already hold the scenario and dse paths in lockstep.
+func sweepScenario(name string, o dse.Options) (*scenario.Scenario, error) {
+	pols := make([]string, len(o.Policies))
+	for i, p := range o.Policies {
+		pols[i] = p.String()
+	}
+	s := &scenario.Scenario{
+		Name:     name,
+		Workload: "jacobi",
+		Kernel: &scenario.KernelConfig{
+			N:        o.N,
+			Variant:  o.Variant.String(),
+			Cores:    o.Cores,
+			CacheKB:  o.CachesKB,
+			Policies: pols,
+			Warmup:   o.Warmup,
+			Measured: o.Measured,
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sharded sweep: %w", err)
+	}
+	return s, nil
+}
+
+// runShardedSweep distributes one figure sweep across worker processes
+// and returns the merged points in canonical order.
+func runShardedSweep(ctx context.Context, name string, o dse.Options, shards, workers, parallelism int, workerCmd string, noFFwd bool) ([]dse.Point, error) {
+	s, err := sweepScenario(name, o)
+	if err != nil {
+		return nil, err
+	}
+	var argv []string
+	if workerCmd != "" {
+		argv = strings.Fields(workerCmd)
+	} else {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		argv = []string{exe, "-worker"}
+		if noFFwd {
+			argv = append(argv, "-no-ffwd")
+		}
+	}
+	co := &shard.Coordinator{
+		NewWorker:   shard.ProcFactory(shard.ProcSpec{Command: argv}),
+		Shards:      shards,
+		Workers:     workers,
+		Parallelism: parallelism,
+		Logf:        log.Printf,
+	}
+	results, _, err := co.Run(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("%s: merged %d shards; merkle root %s", name, shards, scenario.MerkleRoot(results))
+	return scenario.DSEPoints(results), nil
 }
 
 // parseList resolves a comma-separated axis filter through the axis's

@@ -25,8 +25,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -34,6 +37,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/resultcache"
 	"repro/internal/scenario"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -76,6 +80,12 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	cacheBudget := fs.Int64("cache-budget", 0, "byte budget for -cache mem (0 = 64 MiB default)")
 	noFFwd := fs.Bool("no-ffwd", false, "disable idle fast-forward (tick every cycle; output is byte-identical either way)")
 	noFork := fs.Bool("no-fork", false, "disable warm-snapshot sharing across measure_windows (re-simulate each warmup; output is byte-identical either way)")
+	shards := fs.Int("shards", 0, `split each sweep into this many shards run by worker processes and merge the rows (0 = the scenario file's "shard" section, else single-process; output is byte-identical either way)`)
+	workers := fs.Int("workers", 0, "max concurrently running shard workers (0 = one per shard); each worker runs -parallelism simulations, so shards x parallelism run fleet-wide")
+	workerCmd := fs.String("worker-cmd", "", "worker command for sharded runs, space-separated (default: this binary re-exec'd with -worker and the cache flags)")
+	workerURLs := fs.String("worker-url", "", "comma-separated remote worker URLs (medea-scenarios -worker-listen endpoints) to shard over instead of local processes")
+	workerMode := fs.Bool("worker", false, "serve the shard worker protocol on stdin/stdout (started by a coordinator, not by hand)")
+	workerListen := fs.String("worker-listen", "", "serve the shard worker protocol over HTTP on this address (for -worker-url coordinators)")
 	workloads := fs.Bool("workloads", false, "list the available workloads and exit")
 	patterns := fs.Bool("patterns", false, "list the available traffic patterns and exit")
 	routers := fs.Bool("routers", false, "list the available router algorithms and exit")
@@ -120,6 +130,16 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%s\n", strings.Join(noc.TopologyNames(), "\n"))
 		return nil
 	}
+	if *workerMode || *workerListen != "" {
+		rcache, err := resultcache.Open(*cacheBackend, *cacheDir, *cacheBudget)
+		if err != nil {
+			return err
+		}
+		if *workerMode {
+			return shard.ServeWorker(ctx, os.Stdin, stdout, rcache)
+		}
+		return serveWorkerHTTP(ctx, *workerListen, rcache)
+	}
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return fmt.Errorf("no scenario files given")
@@ -127,10 +147,17 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	if *outPath != "" && fs.NArg() > 1 {
 		return fmt.Errorf("-out only works with a single scenario file")
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
 	// One cache across every scenario on the command line, so a batch that
 	// revisits points (overlapping grids, repeated files) dedups across
 	// files too.
 	rcache, err := resultcache.Open(*cacheBackend, *cacheDir, *cacheBudget)
+	if err != nil {
+		return err
+	}
+	newWorker, err := workerFactory(*workerURLs, *workerCmd, *cacheBackend, *cacheDir, *cacheBudget, *noFFwd, *noFork)
 	if err != nil {
 		return err
 	}
@@ -149,13 +176,48 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		s.Cache = rcache.Scope() // per-file counters over the shared store
 		log.Printf("running %s", scenario.Summary(s))
-		results, err := scenario.RunCtx(ctx, s)
-		if err != nil {
-			return err
+
+		// -shards on the command line wins; 0 falls back to the scenario
+		// file's shard section; no section means single-process.
+		nShards, nWorkers := *shards, *workers
+		if nShards == 0 && s.Shard != nil {
+			nShards = s.Shard.Shards
+			if nWorkers == 0 {
+				nWorkers = s.Shard.Workers
+			}
 		}
-		if s.Cache != nil {
+
+		var results []scenario.Result
+		if nShards > 0 {
+			co := &shard.Coordinator{
+				NewWorker:   newWorker,
+				Shards:      nShards,
+				Workers:     nWorkers,
+				Parallelism: *par,
+				Logf:        log.Printf,
+			}
+			merged, stats, err := co.Run(ctx, s)
+			if err != nil {
+				return err
+			}
+			// Bubble the fleet's cache counters into this file's scope (and
+			// the shared store's), as a single-process run would have.
+			s.Cache.AddExternal(stats)
+			results = merged
 			// Stderr via log, so -format csv/json stdout stays machine-clean.
-			log.Printf("%s: cache %v; merkle root %s", s.Name, s.Cache.Stats(), scenario.MerkleRoot(results))
+			// The merged root is always logged for sharded runs: it is the
+			// figure to compare against a single-process run's root.
+			log.Printf("%s: merged %d shards; cache %v; merkle root %s", s.Name, nShards, s.Cache.Stats(), scenario.MerkleRoot(results))
+		} else {
+			r, err := scenario.RunCtx(ctx, s)
+			if err != nil {
+				return err
+			}
+			results = r
+			if s.Cache != nil {
+				// Stderr via log, so -format csv/json stdout stays machine-clean.
+				log.Printf("%s: cache %v; merkle root %s", s.Name, s.Cache.Stats(), scenario.MerkleRoot(results))
+			}
 		}
 		f := s.Output
 		if *format != "" {
@@ -175,6 +237,59 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		if _, err := io.WriteString(stdout, rendered); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// workerFactory builds the coordinator's worker source: remote HTTP
+// workers when -worker-url is set, else local processes running
+// -worker-cmd (default: this binary re-exec'd in -worker mode with the
+// run's cache and determinism flags, so -cache disk gives the fleet one
+// shared store and cross-process dedup).
+func workerFactory(urls, cmd, cacheBackend, cacheDir string, cacheBudget int64, noFFwd, noFork bool) (func(context.Context) (shard.Worker, error), error) {
+	if urls != "" {
+		return shard.HTTPFactory(strings.Split(urls, ",")), nil
+	}
+	var argv []string
+	if cmd != "" {
+		argv = strings.Fields(cmd)
+	} else {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		argv = []string{exe, "-worker", "-cache", cacheBackend}
+		if cacheDir != "" {
+			argv = append(argv, "-cache-dir", cacheDir)
+		}
+		if cacheBudget != 0 {
+			argv = append(argv, "-cache-budget", strconv.FormatInt(cacheBudget, 10))
+		}
+		if noFFwd {
+			argv = append(argv, "-no-ffwd")
+		}
+		if noFork {
+			argv = append(argv, "-no-fork")
+		}
+	}
+	return shard.ProcFactory(shard.ProcSpec{Command: argv}), nil
+}
+
+// serveWorkerHTTP serves the shard worker protocol over HTTP until the
+// context is canceled (-worker-listen).
+func serveWorkerHTTP(ctx context.Context, addr string, rcache *resultcache.Cache) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("worker listening on %s", ln.Addr())
+	srv := &http.Server{Handler: shard.Handler(rcache)}
+	go func() {
+		<-ctx.Done()
+		srv.Shutdown(context.Background())
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	return nil
 }

@@ -43,7 +43,7 @@ func Compare(n int, cores []int, cacheKB, warmup, measured int) ([]CompareRow, e
 // shape).
 func CompareCtx(ctx context.Context, n int, cores []int, cacheKB, warmup, measured int) ([]CompareRow, error) {
 	rows := make([]CompareRow, len(cores))
-	if err := par.ForEachCtx(ctx, len(cores), 0, func(i int) error {
+	if err := par.ForEachCtx(ctx, len(cores), DefaultParallelism(), func(i int) error {
 		row, err := compareOne(ctx, n, cores[i], cacheKB, warmup, measured)
 		if err != nil {
 			return err

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -15,6 +16,30 @@ import (
 	"repro/internal/par"
 	"repro/internal/resultcache"
 )
+
+// defaultParallelism is the sweep concurrency applied when an Options
+// leaves Parallelism at 0. It is itself 0 by default, which par.ForEachCtx
+// resolves to runtime.GOMAXPROCS(0) — cmd/medea-experiments exposes it as
+// -parallelism, mirroring cmd/medea-scenarios (which threads the flag
+// through Scenario.Parallelism instead).
+var defaultParallelism atomic.Int64
+
+// SetDefaultParallelism caps concurrent simulations for every sweep whose
+// Options leave Parallelism unset (0 restores the GOMAXPROCS default).
+func SetDefaultParallelism(n int) { defaultParallelism.Store(int64(n)) }
+
+// DefaultParallelism returns the package-wide default sweep concurrency
+// (0 = GOMAXPROCS).
+func DefaultParallelism() int { return int(defaultParallelism.Load()) }
+
+// parallelismOr resolves an Options.Parallelism against the package
+// default.
+func parallelismOr(n int) int {
+	if n != 0 {
+		return n
+	}
+	return DefaultParallelism()
+}
 
 // Point is one evaluated design-space configuration.
 type Point struct {
@@ -60,6 +85,33 @@ type Options struct {
 	// to one run. nil means cache off; results are byte-identical either
 	// way (the differential battery in internal/scenario enforces this).
 	Cache *resultcache.Cache
+	// Points, when non-nil, restricts the sweep to the listed indices of
+	// the canonical (policy, cache, cores) job order — the shard layer's
+	// hook. Indices must be strictly increasing and in range; the result
+	// slice follows Points order. Speedup is NOT attached (it is a
+	// cross-point figure the merger recomputes over the full grid), so a
+	// Points sweep over every index differs from a full sweep only in the
+	// zero Speedup column.
+	Points []int
+}
+
+// selectPoints validates a Points filter against a sweep of total jobs.
+// nil means "all points".
+func selectPoints(total int, pts []int) error {
+	if pts == nil {
+		return nil
+	}
+	prev := -1
+	for _, p := range pts {
+		if p <= prev {
+			return fmt.Errorf("dse: point filter not strictly increasing at index %d", p)
+		}
+		if p < 0 || p >= total {
+			return fmt.Errorf("dse: point filter index %d outside the %d-point sweep", p, total)
+		}
+		prev = p
+	}
+	return nil
 }
 
 // PaperCores returns the paper's compute-core range: 2..15 (3..16 total
@@ -123,12 +175,23 @@ func SweepCtx(ctx context.Context, o Options) ([]Point, error) {
 			}
 		}
 	}
+	if err := selectPoints(len(jobs), o.Points); err != nil {
+		return nil, err
+	}
+	if o.Points != nil {
+		sel := make([]job, len(o.Points))
+		for i, p := range o.Points {
+			sel[i] = jobs[p]
+			sel[i].idx = i
+		}
+		jobs = sel
+	}
 	points := make([]Point, len(jobs))
 
 	// Each slot of points is written by exactly one job, so the fixed
 	// worker pool needs no further synchronization; per-point errors are
 	// collected and joined in index order by ForEachCtx.
-	if err := par.ForEachCtx(ctx, len(jobs), o.Parallelism, func(i int) error {
+	if err := par.ForEachCtx(ctx, len(jobs), parallelismOr(o.Parallelism), func(i int) error {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
 		spec := jacobi.Spec{N: o.N, Warmup: o.Warmup, Measured: o.Measured}
@@ -150,7 +213,9 @@ func SweepCtx(ctx context.Context, o Options) ([]Point, error) {
 	}); err != nil {
 		return nil, err
 	}
-	AttachSpeedup(points)
+	if o.Points == nil {
+		AttachSpeedup(points)
+	}
 	return points, nil
 }
 

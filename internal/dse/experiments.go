@@ -71,8 +71,16 @@ func Fig6Ctx(ctx context.Context, f Fidelity) (string, []Point, error) {
 	if err != nil {
 		return "", nil, fmt.Errorf("fig6: %w", err)
 	}
-	return Fig6Table(pts, "Fig. 6 — Execution time (cycles/iteration), 60x60 array"), pts, nil
+	return Fig6Table(pts, Fig6Title), pts, nil
 }
+
+// Fig6Title and Fig8Title caption the execution-time tables. Exported so
+// the sharded driver in cmd/medea-experiments renders merged results with
+// the exact captions of the single-process path.
+const (
+	Fig6Title = "Fig. 6 — Execution time (cycles/iteration), 60x60 array"
+	Fig8Title = "Fig. 8 — Execution time (cycles/iteration), 30x30 array, write-back"
+)
 
 // Fig7 reproduces Figure 7: optimal speedup and corresponding
 // configuration versus chip area for the 60x60 array, from the Fig. 6
@@ -95,7 +103,7 @@ func Fig8Ctx(ctx context.Context, f Fidelity) (string, []Point, error) {
 	if err != nil {
 		return "", nil, fmt.Errorf("fig8: %w", err)
 	}
-	return Fig6Table(pts, "Fig. 8 — Execution time (cycles/iteration), 30x30 array, write-back"), pts, nil
+	return Fig6Table(pts, Fig8Title), pts, nil
 }
 
 // Fig9 reproduces Figure 9: optimal speedup versus chip area for the

@@ -137,6 +137,10 @@ type KernelOptions struct {
 	// Cache content-addresses each point's simulation result; nil means
 	// cache off (see Options.Cache).
 	Cache *resultcache.Cache
+	// Points restricts the sweep to the listed indices of the canonical
+	// (variant, policy, cache, cores) order, variants outermost — see
+	// Options.Points. Speedup is not attached on a filtered sweep.
+	Points []int
 }
 
 // KernelPoint is one evaluated (kernel, variant, configuration) point.
@@ -227,22 +231,44 @@ func KernelSweepCtx(ctx context.Context, o KernelOptions) ([]KernelPoint, error)
 	if err := o.withDefaults(); err != nil {
 		return nil, err
 	}
+	perVariant := len(o.Policies) * len(o.CachesKB) * len(o.Cores)
+	if err := selectPoints(perVariant*len(o.Variants), o.Points); err != nil {
+		return nil, err
+	}
 	var out []KernelPoint
-	for _, variant := range o.Variants {
-		pts, err := kernelVariantSweep(ctx, o, variant)
+	for vi, variant := range o.Variants {
+		local := o.Points
+		if o.Points != nil {
+			// Split the global filter into this variant's slice of the
+			// canonical order (variants outermost), rebased to local
+			// indices.
+			local = make([]int, 0)
+			for _, p := range o.Points {
+				if p >= vi*perVariant && p < (vi+1)*perVariant {
+					local = append(local, p-vi*perVariant)
+				}
+			}
+			if len(local) == 0 {
+				continue
+			}
+		}
+		pts, err := kernelVariantSweep(ctx, o, variant, local)
 		if err != nil {
 			return nil, err
 		}
-		attachKernelSpeedup(pts)
+		if o.Points == nil {
+			AttachKernelSpeedup(pts)
+		}
 		out = append(out, pts...)
 	}
 	return out, nil
 }
 
-// kernelVariantSweep runs one variant's policies x caches x cores grid.
-// Jacobi delegates to Sweep so the declarative path, the figure sweeps
-// and the kernel ablation share one execution path byte-for-byte.
-func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Variant) ([]KernelPoint, error) {
+// kernelVariantSweep runs one variant's policies x caches x cores grid,
+// restricted to the local point indices when points is non-nil. Jacobi
+// delegates to Sweep so the declarative path, the figure sweeps and the
+// kernel ablation share one execution path byte-for-byte.
+func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Variant, points []int) ([]KernelPoint, error) {
 	if o.Kernel == KernelJacobi {
 		pts, err := SweepCtx(ctx, Options{
 			N:           o.N,
@@ -254,6 +280,7 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 			Measured:    o.Measured,
 			Parallelism: o.Parallelism,
 			Cache:       o.Cache,
+			Points:      points,
 		})
 		if err != nil {
 			return nil, err
@@ -289,8 +316,16 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 			}
 		}
 	}
-	points := make([]KernelPoint, len(jobs))
-	if err := par.ForEachCtx(ctx, len(jobs), o.Parallelism, func(i int) error {
+	if points != nil {
+		sel := make([]job, len(points))
+		for i, p := range points {
+			sel[i] = jobs[p]
+			sel[i].idx = i
+		}
+		jobs = sel
+	}
+	out := make([]KernelPoint, len(jobs))
+	if err := par.ForEachCtx(ctx, len(jobs), parallelismOr(o.Parallelism), func(i int) error {
 		j := jobs[i]
 		cfg := core.DefaultConfig(j.cores, j.kb, j.policy)
 		p := KernelPoint{
@@ -323,19 +358,21 @@ func kernelVariantSweep(ctx context.Context, o KernelOptions, variant jacobi.Var
 			p.NoCFlits = val.NoCFlits
 			p.CyclesSkipped = skipped
 		}
-		points[j.idx] = p
+		out[j.idx] = p
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	return points, nil
+	return out, nil
 }
 
-// attachKernelSpeedup fills Speedup relative to the smallest-area
+// AttachKernelSpeedup fills Speedup relative to the smallest-area
 // configuration of the series, with AttachSpeedup's exact baseline choice
 // (equal areas break toward the slower point) so jacobi numbers match the
-// figure sweeps bit-for-bit.
-func attachKernelSpeedup(points []KernelPoint) {
+// figure sweeps bit-for-bit. Exported for the shard merger, which
+// reassembles full series from per-shard rows and must reattach the
+// cross-point Speedup with this exact algorithm.
+func AttachKernelSpeedup(points []KernelPoint) {
 	if len(points) == 0 {
 		return
 	}

@@ -1,0 +1,106 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/jacobi"
+)
+
+func pointsTestOptions() Options {
+	return Options{
+		N:        16,
+		Cores:    []int{2, 4},
+		CachesKB: []int{4, 8},
+		Policies: []cache.Policy{cache.WriteBack, cache.WriteThrough},
+		Variant:  jacobi.HybridFull,
+		Warmup:   1,
+		Measured: 1,
+	}
+}
+
+// TestSweepPointsFilter: a Points-filtered sweep must return exactly the
+// selected slice of the full sweep, in filter order, with every measured
+// column identical — only the cross-point Speedup is left for the merger.
+func TestSweepPointsFilter(t *testing.T) {
+	full, err := Sweep(pointsTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := pointsTestOptions()
+	o.Points = []int{1, 3, 6}
+	sub, err := Sweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != len(o.Points) {
+		t.Fatalf("filtered sweep returned %d points for %d indices", len(sub), len(o.Points))
+	}
+	for i, p := range o.Points {
+		want := full[p]
+		want.Speedup = 0 // cross-point: not attached on filtered sweeps
+		if sub[i] != want {
+			t.Errorf("point %d: filtered %+v, full-sweep %+v", p, sub[i], want)
+		}
+	}
+}
+
+// TestSweepPointsValidation: malformed filters fail before any simulation.
+func TestSweepPointsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		points  []int
+		wantSub string
+	}{
+		{[]int{3, 1}, "increasing"},
+		{[]int{2, 2}, "increasing"},
+		{[]int{0, 99}, "outside"},
+		{[]int{-1}, "increasing"}, // -1 <= prev(-1) trips the order check first
+	} {
+		o := pointsTestOptions()
+		o.Points = tc.points
+		_, err := Sweep(o)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Points=%v: err = %v, want mention of %q", tc.points, err, tc.wantSub)
+		}
+	}
+}
+
+// TestKernelSweepPointsFilter covers the kernel-grid variant of the
+// filter: global indices spanning variant series map onto the right
+// per-variant jobs.
+func TestKernelSweepPointsFilter(t *testing.T) {
+	o := KernelOptions{
+		Kernel:   KernelJacobi,
+		N:        16,
+		Cores:    []int{2, 4},
+		CachesKB: []int{4},
+		Policies: []cache.Policy{cache.WriteBack},
+		Variants: []jacobi.Variant{jacobi.HybridFull, jacobi.PureSM},
+		Warmup:   1,
+		Measured: 1,
+	}
+	full, err := KernelSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 4 {
+		t.Fatalf("full kernel sweep has %d points, want 4", len(full))
+	}
+	// One index in each variant's series.
+	o.Points = []int{1, 2}
+	sub, err := KernelSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 {
+		t.Fatalf("filtered kernel sweep returned %d points", len(sub))
+	}
+	for i, p := range o.Points {
+		want := full[p]
+		want.Speedup = 0
+		if sub[i] != want {
+			t.Errorf("kernel point %d: filtered %+v, full-sweep %+v", p, sub[i], want)
+		}
+	}
+}

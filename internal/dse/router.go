@@ -93,7 +93,7 @@ func RouterAblationCtx(ctx context.Context, o RouterAblationOptions) ([]RouterPo
 	}
 
 	points := make([]RouterPoint, len(routers)*len(o.Rates))
-	if err := par.ForEachCtx(ctx, len(points), o.Parallelism, func(i int) error {
+	if err := par.ForEachCtx(ctx, len(points), parallelismOr(o.Parallelism), func(i int) error {
 		kind := routers[i/len(o.Rates)]
 		rate := o.Rates[i%len(o.Rates)]
 		m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{

@@ -104,7 +104,7 @@ func TopologyAblationCtx(ctx context.Context, o TopologyAblationOptions) ([]Topo
 	}
 
 	points := make([]TopologyPoint, len(topos)*len(o.Rates))
-	if err := par.ForEachCtx(ctx, len(points), o.Parallelism, func(i int) error {
+	if err := par.ForEachCtx(ctx, len(points), parallelismOr(o.Parallelism), func(i int) error {
 		topo := topos[i/len(o.Rates)]
 		rate := o.Rates[i%len(o.Rates)]
 		m, err := noc.MeasureCtx(ctx, topo, noc.MeasureConfig{

@@ -52,6 +52,11 @@ type Snapshot struct {
 	Date string `json:"date"`
 	// GoVersion stamps the toolchain (runtime.Version()).
 	GoVersion string `json:"go_version"`
+	// Host names the machine the snapshot was taken on (os.Hostname), and
+	// GOMAXPROCS records the scheduler width in effect. Wall-clock numbers
+	// are only comparable between snapshots that agree on both.
+	Host       string `json:"host,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
 	// CodeVersion is resultcache.CodeVersion: the simulation-semantics
 	// stamp. Two snapshots with equal CodeVersion and different MerkleRoot
 	// indicate a reproducibility break.
@@ -108,6 +113,19 @@ func (s *Snapshot) Write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteNew is Write, except it refuses to clobber an existing snapshot:
+// two -bench-json runs on the same date would otherwise silently
+// overwrite each other's BENCH_<date>.json. Overwriting is an explicit
+// opt-in (-bench-json-force → Write).
+func (s *Snapshot) WriteNew(path string) error {
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("perfledger: %s already exists (pass -bench-json-force to overwrite)", path)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	return s.Write(path)
 }
 
 // Load reads and validates a snapshot file.

@@ -75,3 +75,49 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("Load of a missing file succeeded")
 	}
 }
+
+// TestWriteNewRefusesClobber: two -bench-json runs on the same date must
+// not silently overwrite each other's snapshot; overwriting is the
+// explicit -bench-json-force opt-in (plain Write).
+func TestWriteNewRefusesClobber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName("2026-08-08"))
+	s := sample()
+	if err := s.WriteNew(path); err != nil {
+		t.Fatalf("first WriteNew: %v", err)
+	}
+	err := s.WriteNew(path)
+	if err == nil || !strings.Contains(err.Error(), "-bench-json-force") {
+		t.Errorf("second WriteNew = %v, want a refusal naming -bench-json-force", err)
+	}
+	// The forced path still works and the file stays loadable.
+	s.Entries[0].NsPerOp = 2e6
+	if err := s.Write(path); err != nil {
+		t.Fatalf("forced Write: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0].NsPerOp != 2e6 {
+		t.Errorf("forced overwrite not applied: %+v", got.Entries)
+	}
+}
+
+// TestSnapshotHostFields: the host/gomaxprocs stamp survives the
+// round trip — consumers comparing wall-clock entries need both.
+func TestSnapshotHostFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName("2026-08-08"))
+	s := sample()
+	s.Host = "bench-box"
+	s.GOMAXPROCS = 4
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != "bench-box" || got.GOMAXPROCS != 4 {
+		t.Errorf("host fields did not round-trip: host=%q gomaxprocs=%d", got.Host, got.GOMAXPROCS)
+	}
+}

@@ -1,0 +1,97 @@
+package resultcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMemoryStoreBudgetRace hammers the LRU byte-budget accounting from
+// many goroutines mixing fitting, oversized and same-key-resized Puts
+// (run it with -race; the CI race job does). The invariants: the byte
+// counter never goes negative, never settles above the budget, and
+// eviction is not wedged — a fresh entry after the storm still lands and
+// still evicts.
+func TestMemoryStoreBudgetRace(t *testing.T) {
+	const budget = 256
+	m := NewMemoryStore(budget)
+	small := make([]byte, 32)
+	large := make([]byte, budget/2)
+	oversized := make([]byte, budget+1) // larger than the whole budget: never stored
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// A handful of shared keys, so goroutines race the
+				// same-key resize path (small <-> large) as well as
+				// insert/evict.
+				key := NewKey("race").Int("k", int64((g+i)%6)).Sum()
+				switch i % 3 {
+				case 0:
+					m.Put(key, small)
+				case 1:
+					m.Put(key, large)
+				case 2:
+					m.Put(NewKey("race").Int("big", int64(i)).Sum(), oversized)
+				}
+				if used := m.UsedBytes(); used < 0 {
+					t.Errorf("byte counter went negative: %d", used)
+					return
+				}
+				m.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if used := m.UsedBytes(); used < 0 || used > budget {
+		t.Errorf("settled byte counter %d outside [0, %d]", used, budget)
+	}
+	// Eviction must still work: filling the budget with fresh entries
+	// succeeds and pushes old ones out rather than wedging.
+	evBefore := m.Evictions()
+	for i := 0; i < 16; i++ {
+		key := NewKey("race").Str("fresh", fmt.Sprint(i)).Sum()
+		m.Put(key, large)
+		if got, ok := m.Get(key); !ok || len(got) != len(large) {
+			t.Fatalf("fresh entry %d not stored after the storm (ok=%v)", i, ok)
+		}
+	}
+	if m.Evictions() == evBefore {
+		t.Error("no evictions while overfilling the budget: eviction wedged")
+	}
+	if used := m.UsedBytes(); used < 0 || used > budget {
+		t.Errorf("post-refill byte counter %d outside [0, %d]", used, budget)
+	}
+}
+
+// TestAddExternalBubbles: a worker's Stats folded into a scope must land
+// in the scope and every ancestor, exactly as locally-counted traffic
+// does, and stay nil-safe (nil is the documented cache-off mode).
+func TestAddExternalBubbles(t *testing.T) {
+	root := New(NewMemoryStore(0))
+	scope := root.Scope()
+	inner := scope.Scope()
+
+	inner.AddExternal(Stats{Hits: 3, Misses: 2, Dedups: 1, Computes: 2})
+	want := Stats{Hits: 3, Misses: 2, Dedups: 1, Computes: 2}
+	for name, c := range map[string]*Cache{"inner": inner, "scope": scope, "root": root} {
+		if got := c.Stats(); got != want {
+			t.Errorf("%s stats = %+v, want %+v", name, got, want)
+		}
+	}
+
+	// A sibling scope must not see the delta.
+	if got := root.Scope().Stats(); got != (Stats{}) {
+		t.Errorf("sibling scope stats = %+v, want zero", got)
+	}
+
+	var nilCache *Cache
+	nilCache.AddExternal(Stats{Hits: 1}) // must not panic
+	if got := nilCache.Stats(); got != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", got)
+	}
+}

@@ -129,6 +129,22 @@ func (c *Cache) count(f func(*Cache)) {
 	}
 }
 
+// AddExternal folds a Stats delta produced elsewhere — typically a shard
+// worker process reporting its own cache counters — into this scope and
+// every parent, so distributed runs bubble into the same counters a
+// single-process run would have incremented. Nil-safe no-op.
+func (c *Cache) AddExternal(s Stats) {
+	if c == nil {
+		return
+	}
+	c.count(func(n *Cache) {
+		n.hits.Add(s.Hits)
+		n.misses.Add(s.Misses)
+		n.dedups.Add(s.Dedups)
+		n.computes.Add(s.Computes)
+	})
+}
+
 // GetOrCompute returns the bytes stored under key, computing and storing
 // them on a miss. The bool result reports whether the bytes came from the
 // cache (a store hit or a singleflight join) rather than a fresh compute.

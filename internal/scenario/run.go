@@ -134,12 +134,15 @@ func DSEPoints(results []Result) []dse.Point {
 	return points
 }
 
-// runNoC expands topologies x routers x patterns x rates x seeds and
+// runNoCShard expands topologies x routers x patterns x rates x seeds and
 // executes each point on the shared fixed worker pool (par.ForEachCtx, as
 // dse.SweepCtx does): every point is an independent deterministic
 // simulation, so each slot of the result slice is written by exactly one
-// job and the whole set is reproducible.
-func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
+// job and the whole set is reproducible. A non-nil points filter (strictly
+// increasing canonical-order indices) restricts the run to those points —
+// window groups still form over the canonical order, so only windows that
+// landed in this shard share a warmup prefix.
+func runNoCShard(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
 	c := s.NoC
 	topos := make([]noc.Topology, 0, len(c.topologyList()))
 	for _, tk := range c.topologyList() {
@@ -193,6 +196,17 @@ func runNoC(ctx context.Context, s *Scenario) ([]Result, error) {
 				}
 			}
 		}
+	}
+	if points != nil {
+		sel := make([]job, len(points))
+		for i, p := range points {
+			if p < 0 || p >= len(jobs) {
+				return nil, fmt.Errorf("scenario: point filter index %d outside the %d-point noc sweep", p, len(jobs))
+			}
+			sel[i] = jobs[p]
+			sel[i].idx = i
+		}
+		jobs = sel
 	}
 	results := make([]Result, len(jobs))
 	if err := par.ForEachCtx(ctx, len(jobs), s.Parallelism, func(i int) error {

@@ -94,6 +94,13 @@ type Scenario struct {
 	// Output is the default rendering: "table" (default), "csv" or "json".
 	Output string `json:"output,omitempty"`
 
+	// Shard, when present, asks the driver to partition the sweep across
+	// worker processes (see internal/shard). It carries counts only — how
+	// the workers are launched is the driver's business (and deliberately
+	// not part of the format: a scenario file must never name a command to
+	// exec). Merged results are byte-identical to a single-process run.
+	Shard *ShardConfig `json:"shard,omitempty"`
+
 	// Cache, when non-nil, content-addresses every point's simulation
 	// result (see resultcache): repeated points are served from the store
 	// and concurrent duplicates collapse to one run. It is runtime state,
@@ -300,6 +307,11 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Parallelism < 0 {
 		return fmt.Errorf("parallelism must be >= 0, got %d", s.Parallelism)
+	}
+	if s.Shard != nil {
+		if err := s.Shard.validate(); err != nil {
+			return err
+		}
 	}
 
 	if kinds[0] == WorkloadNoC {
@@ -591,7 +603,17 @@ func (s *Scenario) NumPoints() int {
 	if err != nil {
 		return 0
 	}
-	if kinds[0] == WorkloadNoC {
+	n := 0
+	for _, k := range kinds {
+		n += s.kindPoints(k)
+	}
+	return n
+}
+
+// kindPoints returns the number of sweep points one workload kind
+// contributes, matching the canonical point order its Run produces.
+func (s *Scenario) kindPoints(k WorkloadKind) int {
+	if k == WorkloadNoC {
 		n := len(s.NoC.topologyList()) * len(s.NoC.routerList()) *
 			len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
 		if w := len(s.NoC.MeasureWindows); w > 0 {
@@ -608,7 +630,7 @@ func (s *Scenario) NumPoints() int {
 	if variants == 0 {
 		variants = 1
 	}
-	return len(kinds) * variants * pols * len(c.CacheKB) * len(c.Cores)
+	return variants * pols * len(c.CacheKB) * len(c.Cores)
 }
 
 // routerList resolves the router axis: the listed routers, or the paper's

@@ -1,0 +1,201 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestShardPointsPartition: every (shards, total) partition must cover
+// each index exactly once, per-shard in increasing order, independent of
+// which shard is asked first.
+func TestShardPointsPartition(t *testing.T) {
+	for _, tc := range []struct{ shards, total int }{
+		{1, 5}, {2, 5}, {3, 5}, {5, 5}, {7, 5}, {4, 0}, {3, 17},
+	} {
+		seen := make(map[int]int)
+		for shard := 0; shard < tc.shards; shard++ {
+			pts := ShardPoints(shard, tc.shards, tc.total)
+			for i := 1; i < len(pts); i++ {
+				if pts[i] <= pts[i-1] {
+					t.Errorf("ShardPoints(%d,%d,%d) not increasing: %v", shard, tc.shards, tc.total, pts)
+				}
+			}
+			for _, p := range pts {
+				seen[p]++
+			}
+		}
+		if len(seen) != tc.total {
+			t.Errorf("%d shards over %d points covered %d indices", tc.shards, tc.total, len(seen))
+		}
+		for p, n := range seen {
+			if n != 1 {
+				t.Errorf("%d shards over %d points assigned index %d to %d shards", tc.shards, tc.total, p, n)
+			}
+			if p < 0 || p >= tc.total {
+				t.Errorf("%d shards over %d points produced out-of-range index %d", tc.shards, tc.total, p)
+			}
+		}
+	}
+}
+
+// kernelShardScenario is a small multi-kernel, multi-variant sweep: it
+// exercises the one cross-point figure (Speedup) that MergeShards must
+// reattach over the reassembled series.
+const kernelShardScenario = `{
+	"name": "shard-kernels",
+	"workloads": ["jacobi", "matmul"],
+	"kernel": {"n": 8, "cores": [2, 4], "cache_kb": [4],
+	           "variants": ["hybrid-full", "pure-sm"],
+	           "warmup": 1, "measured": 1}
+}`
+
+// TestRunShardMergeMatchesRun is the scenario-layer half of the sharding
+// golden: RunShardCtx over every shard, merged, must equal RunCtx exactly
+// (including reattached Speedup), for both kernel and noc sweeps.
+func TestRunShardMergeMatchesRun(t *testing.T) {
+	cases := []struct {
+		name string
+		load func(t *testing.T) *Scenario
+	}{
+		{"kernel", func(t *testing.T) *Scenario {
+			s, err := Parse([]byte(kernelShardScenario))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"noc", func(t *testing.T) *Scenario {
+			s, err := Load("../../examples/scenarios/smoke.json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, err := RunCtx(context.Background(), c.load(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 3} {
+				s := c.load(t)
+				var rows []Row
+				for shard := 0; shard < shards; shard++ {
+					part, err := RunShardCtx(context.Background(), s, shard, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rows = append(rows, part...)
+				}
+				got, err := MergeShards(s, rows)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d: merged results differ from RunCtx\n got: %+v\nwant: %+v", shards, got, want)
+				}
+				if gr, wr := MerkleRoot(got), MerkleRoot(want); gr != wr {
+					t.Errorf("shards=%d: merged root %s, direct root %s", shards, gr, wr)
+				}
+			}
+		})
+	}
+}
+
+// TestRunShardCtxValidation: out-of-range shard selectors must fail up
+// front, not run the wrong subset.
+func TestRunShardCtxValidation(t *testing.T) {
+	s, err := Load("../../examples/scenarios/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunShardCtx(context.Background(), s, 0, 0); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := RunShardCtx(context.Background(), s, 3, 3); err == nil {
+		t.Error("shard==shards accepted")
+	}
+	if _, err := RunShardCtx(context.Background(), s, -1, 3); err == nil {
+		t.Error("negative shard accepted")
+	}
+}
+
+// TestMergeShardsErrors: the merge must reject duplicate, missing and
+// out-of-range rows — silent acceptance would hand back a sweep with
+// holes that still renders.
+func TestMergeShardsErrors(t *testing.T) {
+	s, err := Load("../../examples/scenarios/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunShardCtx(context.Background(), s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("smoke sweep has %d points, need >= 2", len(rows))
+	}
+
+	dup := append([]Row(nil), rows...)
+	dup[1] = dup[0]
+	if _, err := MergeShards(s, dup); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate row merge = %v, want a delivered-twice error", err)
+	}
+
+	if _, err := MergeShards(s, rows[:len(rows)-1]); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("short merge = %v, want a points-missing error", err)
+	}
+
+	oob := append([]Row(nil), rows...)
+	oob[0].Index = len(rows) + 7
+	if _, err := MergeShards(s, oob); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-range merge = %v, want an index-range error", err)
+	}
+}
+
+// TestShardSectionValidation covers the scenario file's "shard" section:
+// counts only, validated at load time.
+func TestShardSectionValidation(t *testing.T) {
+	good := `{"workload": "noc-synthetic", "noc": {"width": 2, "height": 2, "patterns": ["uniform"], "rates": [0.1], "measure_cycles": 200},
+	          "shard": {"shards": 4, "workers": 2}}`
+	s, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shard == nil || s.Shard.Shards != 4 || s.Shard.Workers != 2 {
+		t.Errorf("shard section did not parse: %+v", s.Shard)
+	}
+	for _, bad := range []string{
+		`{"workload": "noc-synthetic", "noc": {"width": 2, "height": 2, "patterns": ["uniform"], "rates": [0.1], "measure_cycles": 200}, "shard": {"shards": 0}}`,
+		`{"workload": "noc-synthetic", "noc": {"width": 2, "height": 2, "patterns": ["uniform"], "rates": [0.1], "measure_cycles": 200}, "shard": {"shards": 2, "workers": -1}}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("invalid shard section accepted: %s", bad)
+		}
+	}
+}
+
+// TestNumPointsMatchesRun pins the sharding prerequisite: NumPoints must
+// agree with the number of results a full run produces, for both kernel
+// and noc scenarios — ShardPoints partitions [0, NumPoints).
+func TestNumPointsMatchesRun(t *testing.T) {
+	for _, raw := range []string{
+		kernelShardScenario,
+		`{"workload": "noc-synthetic", "noc": {"width": 2, "height": 2, "patterns": ["uniform", "tornado"], "rates": [0.05, 0.1], "measure_cycles": 200}, "seeds": [1, 2]}`,
+	} {
+		s, err := Parse([]byte(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := RunCtx(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumPoints() != len(results) {
+			t.Errorf("NumPoints() = %d but the run produced %d results (%s)", s.NumPoints(), len(results), raw)
+		}
+	}
+}

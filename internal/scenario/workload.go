@@ -116,6 +116,12 @@ type Workload interface {
 	// validated) scenario, in deterministic axis order. A canceled context
 	// stops dispatching new points and interrupts in-flight simulations.
 	Run(ctx context.Context, s *Scenario) ([]Result, error)
+	// RunShard executes only the listed point indices of this kind's
+	// canonical order (strictly increasing, all in range — RunShardCtx
+	// guarantees this), returning one Result per index in order.
+	// Cross-point figures (kernel Speedup) are NOT attached; MergeShards
+	// recomputes them over the reassembled full series.
+	RunShard(ctx context.Context, s *Scenario, points []int) ([]Result, error)
 	// TableInto writes an aligned header + one row per result into w; all
 	// rows are of this kind.
 	TableInto(w *tabwriter.Writer, rows []Result)
@@ -157,43 +163,61 @@ type kernelWorkload struct {
 func (kw kernelWorkload) Kind() WorkloadKind { return kw.kind }
 
 func (kw kernelWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) {
+	return kw.run(ctx, s, nil)
+}
+
+func (kw kernelWorkload) RunShard(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
+	return kw.run(ctx, s, points)
+}
+
+// run executes the kernel sweep, restricted to the listed canonical-order
+// indices when points is non-nil (dse.KernelSweepCtx then skips the
+// cross-point Speedup attach; MergeShards reapplies it over reassembled
+// series).
+func (kw kernelWorkload) run(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
 	o, err := s.kernelSweepOptions(kw.kernel)
 	if err != nil {
 		return nil, err
 	}
+	o.Points = points
 	pts, err := dse.KernelSweepCtx(ctx, o)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	results := make([]Result, len(pts))
 	for i, p := range pts {
-		r := Result{
-			Scenario: s.Name,
-			Workload: kw.kind.String(),
-			Variant:  p.Variant.String(),
-			Cores:    p.Compute,
-			CacheKB:  p.CacheKB,
-			Policy:   p.Policy.String(),
-			Speedup:  p.Speedup,
-		}
-		switch kw.kind {
-		case WorkloadJacobi:
-			r.CyclesPerIter = p.Cycles
-			r.MissRate = p.MissRate
-			r.AreaMM2 = p.AreaMM2
-		case WorkloadMatmul:
-			r.TotalCycles = p.Cycles
-			r.TransferCycles = p.TransferCycles
-			r.MPMMUBusy = p.MPMMUBusy
-			r.NoCFlits = p.NoCFlits
-		case WorkloadSyncbench:
-			r.CyclesPerRound = p.Cycles
-			r.MPMMUBusy = p.MPMMUBusy
-			r.NoCFlits = p.NoCFlits
-		}
-		results[i] = r
+		results[i] = kw.resultOf(s, p)
 	}
 	return results, nil
+}
+
+// resultOf projects one kernel sweep point onto the kind's Result schema.
+func (kw kernelWorkload) resultOf(s *Scenario, p dse.KernelPoint) Result {
+	r := Result{
+		Scenario: s.Name,
+		Workload: kw.kind.String(),
+		Variant:  p.Variant.String(),
+		Cores:    p.Compute,
+		CacheKB:  p.CacheKB,
+		Policy:   p.Policy.String(),
+		Speedup:  p.Speedup,
+	}
+	switch kw.kind {
+	case WorkloadJacobi:
+		r.CyclesPerIter = p.Cycles
+		r.MissRate = p.MissRate
+		r.AreaMM2 = p.AreaMM2
+	case WorkloadMatmul:
+		r.TotalCycles = p.Cycles
+		r.TransferCycles = p.TransferCycles
+		r.MPMMUBusy = p.MPMMUBusy
+		r.NoCFlits = p.NoCFlits
+	case WorkloadSyncbench:
+		r.CyclesPerRound = p.Cycles
+		r.MPMMUBusy = p.MPMMUBusy
+		r.NoCFlits = p.NoCFlits
+	}
+	return r
 }
 
 // The three kernel kinds share kernelWorkload's Kind/Run and differ only
@@ -208,4 +232,10 @@ type nocWorkload struct{}
 
 func (nocWorkload) Kind() WorkloadKind { return WorkloadNoC }
 
-func (nocWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) { return runNoC(ctx, s) }
+func (nocWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) {
+	return runNoCShard(ctx, s, nil)
+}
+
+func (nocWorkload) RunShard(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
+	return runNoCShard(ctx, s, points)
+}

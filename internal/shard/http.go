@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/resultcache"
+)
+
+// Handler serves the worker protocol over HTTP for remote workers
+// (medea-scenarios -worker-listen): POST a JSON Request, receive the
+// frame stream — progress frames flushed as they happen, then the
+// terminal frame — as the response body. One request per HTTP exchange.
+func Handler(cache *resultcache.Cache) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a shard request", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxFrame+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > MaxFrame {
+			http.Error(w, fmt.Sprintf("request exceeds the %d-byte bound", MaxFrame), http.StatusRequestEntityTooLarge)
+			return
+		}
+		var req Request
+		if err := ReadFrame(io.MultiReader(lenPrefix(len(body)), bytes.NewReader(body)), &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		crashIfRequested()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		fw := &flushWriter{w: w}
+		resp := handleRequest(r.Context(), &req, fw, cache)
+		_ = WriteFrame(fw, resp)
+	})
+}
+
+// lenPrefix renders a 4-byte big-endian frame header, so the HTTP body
+// (bare JSON) can be fed through the same ReadFrame as the stdio path.
+func lenPrefix(n int) io.Reader {
+	return bytes.NewReader([]byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)})
+}
+
+// flushWriter flushes after every write so progress frames stream to the
+// coordinator instead of buffering until the shard finishes.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+// HTTPWorker runs shards on a remote worker over HTTP.
+type HTTPWorker struct {
+	// URL is the worker endpoint (the -worker-listen address).
+	URL string
+	// Client defaults to http.DefaultClient. No timeout is set here: a
+	// Full-fidelity shard legitimately runs for minutes, and cancellation
+	// flows through the request context.
+	Client *http.Client
+
+	nextID int64
+}
+
+// Run implements Worker: POST the request, stream the framed response.
+func (h *HTTPWorker) Run(ctx context.Context, req *Request, progress func(*Response)) (*Response, error) {
+	h.nextID++
+	req.ID = h.nextID
+	req.Version = ProtocolVersion
+	var body bytes.Buffer
+	if err := WriteFrame(&body, req); err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, h.URL, bytes.NewReader(body.Bytes()[4:]))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("shard: worker %s: %s: %s", h.URL, resp.Status, bytes.TrimSpace(msg))
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var fr Response
+		if err := ReadFrame(resp.Body, &fr); err != nil {
+			return nil, fmt.Errorf("shard: worker %s: %w", h.URL, err)
+		}
+		if fr.ID != req.ID {
+			return nil, fmt.Errorf("shard: worker %s: response for request %d while waiting on %d", h.URL, fr.ID, req.ID)
+		}
+		switch fr.Type {
+		case TypeProgress:
+			if progress != nil {
+				progress(&fr)
+			}
+		case TypeResult, TypeError:
+			return &fr, nil
+		default:
+			return nil, fmt.Errorf("shard: worker %s: unknown frame type %q", h.URL, fr.Type)
+		}
+	}
+}
+
+// Close implements Worker; HTTP workers hold no local resources.
+func (h *HTTPWorker) Close() error { return nil }
+
+// HTTPFactory returns a Coordinator.NewWorker that hands out the listed
+// worker URLs round-robin.
+func HTTPFactory(urls []string) func(ctx context.Context) (Worker, error) {
+	var next atomic.Int64
+	return func(ctx context.Context) (Worker, error) {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shard: no worker URLs")
+		}
+		i := int(next.Add(1)-1) % len(urls)
+		return &HTTPWorker{URL: urls[i]}, nil
+	}
+}

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// Worker executes shard requests. Run returning an error means the
+// worker itself is unusable — it crashed, its pipe broke, its stream
+// desynchronized — and the coordinator replaces it and retries the shard
+// elsewhere. A TypeError Response, by contrast, is an application
+// failure: the worker is healthy, the request can never succeed (the
+// simulator is deterministic), and the coordinator fails fast.
+type Worker interface {
+	Run(ctx context.Context, req *Request, progress func(*Response)) (*Response, error)
+	Close() error
+}
+
+// ProcSpec describes how to launch a local worker process.
+type ProcSpec struct {
+	// Command is the argv, typically the current binary re-exec'd in
+	// -worker mode: {os.Executable(), "-worker", ...cache flags}.
+	Command []string
+	// Env entries are appended to the parent's environment.
+	Env []string
+}
+
+// ProcWorker is a worker subprocess speaking the frame protocol on its
+// stdin/stdout. The process runs under the coordinator's context
+// (exec.CommandContext), so canceling the run kills every worker.
+type ProcWorker struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout *bufio.Reader
+	nextID int64
+}
+
+// StartProc launches a worker process per spec. Worker stderr passes
+// through to the parent's, so worker-side logs land in the run's log.
+func StartProc(ctx context.Context, spec ProcSpec) (*ProcWorker, error) {
+	if len(spec.Command) == 0 {
+		return nil, fmt.Errorf("shard: empty worker command")
+	}
+	cmd := exec.CommandContext(ctx, spec.Command[0], spec.Command[1:]...)
+	cmd.Env = append(os.Environ(), spec.Env...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("shard: starting worker %q: %w", spec.Command[0], err)
+	}
+	return &ProcWorker{cmd: cmd, stdin: stdin, stdout: bufio.NewReader(stdout)}, nil
+}
+
+// Run implements Worker.
+func (p *ProcWorker) Run(ctx context.Context, req *Request, progress func(*Response)) (*Response, error) {
+	p.nextID++
+	req.ID = p.nextID
+	return exchange(ctx, p.stdin, p.stdout, req, progress)
+}
+
+// Close shuts the worker down: closing stdin makes a healthy worker's
+// serve loop exit cleanly; a wedged one is killed after a grace period.
+func (p *ProcWorker) Close() error {
+	p.stdin.Close()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		p.cmd.Process.Kill()
+		return <-done
+	}
+}
+
+// ProcFactory returns a Coordinator.NewWorker that launches processes
+// per spec.
+func ProcFactory(spec ProcSpec) func(ctx context.Context) (Worker, error) {
+	return func(ctx context.Context) (Worker, error) { return StartProc(ctx, spec) }
+}

@@ -1,0 +1,59 @@
+package medea_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/resultcache"
+	"repro/internal/scenario"
+	"repro/internal/shard"
+)
+
+// TestMain doubles as the shard-worker entrypoint for
+// BenchmarkShardedSweep: the coordinator re-execs this test binary with
+// MEDEA_SHARD_WORKER=1 and the child serves the frame protocol on stdio.
+func TestMain(m *testing.M) {
+	if os.Getenv("MEDEA_SHARD_WORKER") == "1" {
+		cache := resultcache.New(resultcache.NewMemoryStore(0))
+		if err := shard.ServeWorker(context.Background(), os.Stdin, os.Stdout, cache); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// BenchmarkShardedSweep times the distributed path of the reference
+// sweep: fig8-quick fanned out over 4 worker processes, merged and
+// root-verified. Compare against BenchmarkFig8 (the single-process cost)
+// to read the fan-out speedup; BENCH_<date>.json snapshots track the
+// same pair as the "sharded" entry.
+func BenchmarkShardedSweep(b *testing.B) {
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Load("examples/scenarios/fig8-quick.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		co := &shard.Coordinator{
+			NewWorker: shard.ProcFactory(shard.ProcSpec{
+				Command: []string{exe},
+				Env:     []string{"MEDEA_SHARD_WORKER=1"},
+			}),
+			Shards:  4,
+			Workers: 4,
+		}
+		results, _, err := co.Run(context.Background(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(results)), "points")
+			b.ReportMetric(4, "workers")
+		}
+	}
+}
