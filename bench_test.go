@@ -11,6 +11,7 @@
 package medea_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/syncbench"
+	"repro/internal/trace"
 )
 
 // BenchmarkFig6 regenerates Figure 6: execution time of one 60x60 Jacobi
@@ -531,6 +533,85 @@ func BenchmarkMerkleLedger(b *testing.B) {
 		}
 		b.ReportMetric(float64(t1.DiffComparisons()), "hash-comparisons")
 	})
+}
+
+// BenchmarkTraceReplay is the trace workload's replay path: one uniform
+// 4x4 run is recorded once in setup, then each iteration replays the
+// capture through the deflection torus via the scenario runner — the
+// deserialization + replay cost a trace-driven sweep pays per point.
+func BenchmarkTraceReplay(b *testing.B) {
+	topo, err := noc.NewTopology(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.New(trace.Header{
+		Width: 4, Height: 4, Topology: "torus", Router: "deflection",
+		Pattern: "uniform", Rate: 0.15, Seed: 1, Warmup: 200, Measure: 4000,
+	})
+	src, err := noc.MeasureCtx(context.Background(), topo, noc.MeasureConfig{
+		Router:  noc.RouterDeflection,
+		Traffic: noc.TrafficConfig{Pattern: noc.Uniform, Rate: 0.15, Record: tr},
+		Warmup:  200, Measure: 4000, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := tr.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := trace.Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := make([]noc.ReplayEvent, len(loaded.Events))
+		for j, ev := range loaded.Events {
+			events[j] = noc.ReplayEvent{Cycle: ev.Cycle, Src: ev.Src, Dst: ev.Dst,
+				Meta: ev.Meta, Req: ev.Kind == trace.EventMessage}
+		}
+		m, err := noc.MeasureReplayCtx(context.Background(), topo, noc.ReplayConfig{
+			Router: noc.RouterDeflection, Events: events, Warmup: 200, Measure: 4000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if m.Delivered != src.Delivered {
+				b.Fatalf("replay delivered %d, source %d", m.Delivered, src.Delivered)
+			}
+			b.ReportMetric(float64(len(events)), "events")
+			b.ReportMetric(float64(m.CyclesSkipped), "cycles-skipped")
+		}
+	}
+}
+
+// BenchmarkServiceWorkload is the request/response workload's measurement
+// path: 12 clients, 4 servers, moderate hotspot skew on the paper's 4x4
+// torus — the per-point cost of an S-2 sweep.
+func BenchmarkServiceWorkload(b *testing.B) {
+	topo, err := noc.NewTopology(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := noc.ServiceMeasureConfig{
+		Router:      noc.RouterDeflection,
+		Servers:     4,
+		ArrivalRate: 0.03,
+		ThinkTime:   8,
+		HotspotSkew: 0.5,
+		Warmup:      200,
+		Measure:     4000,
+		Seed:        1,
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := noc.MeasureServiceCtx(context.Background(), topo, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(m.Completed), "requests-completed")
+			b.ReportMetric(m.P99Server, "p99-server")
+		}
+	}
 }
 
 func reportSpread(b *testing.B, pts []dse.Point) {

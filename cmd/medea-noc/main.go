@@ -27,6 +27,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/noc"
+	"repro/internal/trace"
 )
 
 // errUsage signals that the flag package already reported the problem and
@@ -63,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 	burstOff := fs.Float64("burst-off", 0, "mean gap length in cycles between bursts (set with -burst-on)")
 	withXY := fs.Bool("xy", false, "also run the buffered XY dimension-order baseline")
 	csvPath := fs.String("csv", "", "write results as CSV to this file")
+	record := fs.String("record", "", "record every injection to this trace file (single load, no -xy; replay with the scenario runner's trace workload)")
 	loads := fs.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "comma-separated offered loads (flits/node/cycle, each in (0, 1])")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(),
@@ -122,15 +124,45 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// A trace captures exactly one run, so recording constrains the sweep
+	// to a single load point and a single router.
+	var tr *trace.Trace
+	if *record != "" {
+		if len(rates) != 1 {
+			return fmt.Errorf("-record captures a single run: -loads lists %d loads, want exactly one", len(rates))
+		}
+		if *withXY {
+			return fmt.Errorf("-record captures a single router's run: drop -xy and record the XY baseline separately with -router xy")
+		}
+		tr = trace.New(trace.Header{
+			Width: *w, Height: *h,
+			Topology: tk.String(), Router: kind.String(),
+			Pattern: pat.String(), Rate: rates[0], Seed: *seed,
+			Bursty:  burst != nil,
+			Measure: *cycles,
+		})
+	}
+
 	var rows []row
 	for _, rate := range rates {
-		r := measureRouter(topo, kind, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
+		cfg := trafficCfg(pat, *hotspot, rate, burst)
+		if tr != nil {
+			cfg.Record = tr
+		}
+		r := measureRouter(topo, kind, cfg, *cycles, *seed)
 		if *withXY {
 			x := measureRouter(topo, noc.RouterXY, trafficCfg(pat, *hotspot, rate, burst), *cycles, *seed)
 			r.xyLatency, r.xyPeakBuf, r.xyThroughput = x.latency, x.peakBuf, x.throughput
 			r.hasXY = true
 		}
 		rows = append(rows, r)
+	}
+
+	if tr != nil {
+		if err := tr.Save(*record); err != nil {
+			return err
+		}
+		log.Printf("recorded %d injection events to %s (sha256 %s)", len(tr.Events), *record, tr.Hash())
 	}
 
 	var b strings.Builder

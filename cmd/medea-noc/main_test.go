@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/noc"
+	"repro/internal/trace"
 )
 
 // TestPatternFlagAcceptsAllNames pins the CLI contract: every pattern the
@@ -168,5 +169,40 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "wormhole") {
 		t.Errorf("CSV does not name the router: %s", data)
+	}
+}
+
+// TestRecordFlag: -record captures a single run to a decodable trace
+// whose header carries the run's provenance, and the single-run
+// constraints (one load, no -xy) are enforced.
+func TestRecordFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	var out strings.Builder
+	err := run([]string{"-pattern", "tornado", "-loads", "0.2", "-cycles", "400",
+		"-seed", "9", "-record", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Load(path)
+	if err != nil {
+		t.Fatalf("recorded trace does not decode: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("recorded trace holds no events")
+	}
+	h := tr.Header
+	if h.Width != 4 || h.Height != 4 || h.Topology != "torus" ||
+		h.Router != "deflection" || h.Pattern != "tornado" ||
+		h.Rate != 0.2 || h.Seed != 9 || h.Measure != 400 {
+		t.Errorf("header does not carry the run's provenance: %+v", h)
+	}
+	for _, args := range [][]string{
+		{"-loads", "0.1,0.2", "-record", path},    // one load only
+		{"-xy", "-loads", "0.1", "-record", path}, // one router only
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted; want error", args)
+		}
 	}
 }

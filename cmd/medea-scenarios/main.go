@@ -75,6 +75,7 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	outPath := fs.String("out", "", "write results to this file instead of stdout (single scenario only)")
 	par := fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS); overrides the scenario file")
 	validate := fs.Bool("validate", false, "load and validate the scenario files without running them")
+	record := fs.String("record", "", `record the scenario's single run to this trace file (one single-point scenario; replay it with a "trace" workload scenario)`)
 	cacheBackend := fs.String("cache", resultcache.BackendOff, "result cache backend: off | mem | disk (disk persists across runs; output is byte-identical either way)")
 	cacheDir := fs.String("cache-dir", "", "directory for -cache disk")
 	cacheBudget := fs.Int64("cache-budget", 0, "byte budget for -cache mem (0 = 64 MiB default)")
@@ -149,6 +150,19 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
+	if *record != "" {
+		// A trace captures one run: recording is a single-process,
+		// single-file, uncached mode of its own.
+		switch {
+		case fs.NArg() > 1:
+			return fmt.Errorf("-record captures a single run: got %d scenario files, want one", fs.NArg())
+		case *validate:
+			return fmt.Errorf("-record and -validate are mutually exclusive")
+		case *shards != 0:
+			return fmt.Errorf("-record needs a single in-process run; drop -shards")
+		}
+		return recordTrace(ctx, fs.Arg(0), *record, *par, *format, *outPath, stdout)
 	}
 	// One cache across every scenario on the command line, so a batch that
 	// revisits points (overlapping grids, repeated files) dedups across
@@ -239,6 +253,49 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// recordTrace runs one single-point scenario with a trace recorder
+// attached, saves the capture, and renders the source run's rows so the
+// logged merkle root can be compared against a later replay's.
+func recordTrace(ctx context.Context, path, out string, parallelism int, format, outPath string, stdout io.Writer) error {
+	s, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	if parallelism != 0 {
+		s.Parallelism = parallelism
+	}
+	log.Printf("recording %s", scenario.Summary(s))
+	t, results, err := scenario.RecordCtx(ctx, s)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(out); err != nil {
+		return err
+	}
+	// The root is the replay contract: a same-fabric replay of this trace
+	// must merge to the same merkle root (give the replay scenario the
+	// same "name").
+	log.Printf("%s: recorded %d events to %s (sha256 %s); merkle root %s",
+		s.Name, len(t.Events), out, t.Hash(), scenario.MerkleRoot(results))
+	f := s.Output
+	if format != "" {
+		f = format
+	}
+	rendered, err := scenario.Render(results, f)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(rendered), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", outPath)
+		return nil
+	}
+	_, err = io.WriteString(stdout, rendered)
+	return err
 }
 
 // workerFactory builds the coordinator's worker source: remote HTTP

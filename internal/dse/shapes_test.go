@@ -1,6 +1,8 @@
 package dse
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/cache"
@@ -152,5 +154,45 @@ func TestShapeParetoKnees(t *testing.T) {
 	}
 	if jump < 1.5 {
 		t.Errorf("no cache-fit knee on the front (max step %.2fx)", jump)
+	}
+}
+
+// TestServiceAblationShape holds the S-2 contract: the sweep is
+// deterministic, completes work at every point, and the worst server-side
+// p99 rises monotonically with hotspot skew while the network components
+// stay of the same order — concentration, not the fabric, drives the tail.
+func TestServiceAblationShape(t *testing.T) {
+	o := DefaultServiceAblationOptions()
+	o.Measure = 3000
+	points, err := ServiceAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(o.Skews)*len(o.Rates) {
+		t.Fatalf("got %d points, want %d", len(points), len(o.Skews)*len(o.Rates))
+	}
+	for _, p := range points {
+		if p.Completed == 0 {
+			t.Errorf("skew %.2f rate %.3f completed nothing", p.Skew, p.Rate)
+		}
+	}
+	worst := P99ServerBySkew(points)
+	for i := 1; i < len(o.Skews); i++ {
+		lo, hi := o.Skews[i-1], o.Skews[i]
+		if worst[hi] <= worst[lo] {
+			t.Errorf("worst p99-srv at skew %.2f (%.0f) not above skew %.2f (%.0f)",
+				hi, worst[hi], lo, worst[lo])
+		}
+	}
+	again, err := ServiceAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(points, again) {
+		t.Error("service ablation not deterministic")
+	}
+	tbl := ServiceAblationTable(o, points)
+	if !strings.Contains(tbl, "S-2 service ablation") || !strings.Contains(tbl, "worst p99-srv") {
+		t.Errorf("table missing expected sections:\n%s", tbl)
 	}
 }

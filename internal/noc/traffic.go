@@ -66,6 +66,16 @@ func (p Pattern) String() string {
 	return fmt.Sprintf("pattern(%d)", int(p))
 }
 
+// InjectionRecorder observes every injection a traffic source's queue
+// accepts (trace capture; internal/trace.Trace implements it). The
+// recorder is called on the engine thread, after the injection decision
+// is final — post gating, post throttle, post the self-destination skip —
+// so it sees exactly the flits the network sees and never perturbs the
+// run it observes.
+type InjectionRecorder interface {
+	RecordInjection(cycle int64, src, dst int, meta uint32)
+}
+
 // TrafficConfig parameterizes a synthetic traffic node.
 type TrafficConfig struct {
 	Pattern Pattern
@@ -81,6 +91,9 @@ type TrafficConfig struct {
 	// modulator: the node injects at Rate only while the modulator is in
 	// its on state. Composable with every Pattern.
 	Burst *BurstConfig
+	// Record, when non-nil, receives every accepted injection. Purely
+	// observational: results are byte-identical with or without it.
+	Record InjectionRecorder
 }
 
 // TrafficNode is a synthetic traffic source/sink implementing LocalPort.
@@ -90,26 +103,85 @@ type TrafficNode struct {
 	topo  Topology
 	cfg   TrafficConfig
 	rng   *sim.RNG
-	burst *BurstModulator
 	outQ  *queue.FIFO[flit.Flit]
 	now   int64
 	pktID uint64
-
-	// Pre-drawn gating state for idle fast-forward. The per-cycle gating
-	// randomness (burst modulator step, then the Bernoulli injection coin)
-	// must be drawn exactly once per cycle in cycle order whether the
-	// decision is made live in Step or ahead of time in NextEvent, or the
-	// RNG stream — and with it every destination draw — would diverge from
-	// a non-fast-forwarded run. drawnThrough is the last cycle whose gating
-	// has been drawn; nextInject is the earliest drawn cycle that came up
-	// heads (-1 when none has), consumed by the Step that injects it.
-	drawnThrough int64
-	nextInject   int64
+	inj   injectGate
 
 	Sent      stats.Counter
 	Recv      stats.Counter
 	Throttled stats.Counter
 	QueueLat  stats.Running // cycles spent in the source queue
+}
+
+// injectGate is the pre-drawn injection gating shared by TrafficNode and
+// the service workload's clients: a per-cycle burst-modulator step
+// followed by a Bernoulli injection coin, drawable ahead of time for idle
+// fast-forward. The gating randomness must be drawn exactly once per
+// cycle in cycle order whether the decision is made live in gate or ahead
+// of time in next, or the RNG stream — and with it every destination draw
+// — would diverge from a non-fast-forwarded run. drawnThrough is the last
+// cycle whose gating has been drawn; nextInject is the earliest drawn
+// cycle that came up heads (-1 when none has), consumed by the gate call
+// that injects it.
+type injectGate struct {
+	rng   *sim.RNG // shared with the owner's destination draws
+	burst *BurstModulator
+	rate  float64
+
+	drawnThrough int64
+	nextInject   int64
+}
+
+// drawOne draws cycle drawnThrough+1's gating randomness — the burst
+// modulator step first, then (only while on, mirroring the historical
+// short-circuit) the Bernoulli injection coin — and reports whether that
+// cycle attempts an injection.
+func (g *injectGate) drawOne() bool {
+	g.drawnThrough++
+	if g.burst != nil && !g.burst.Step() {
+		return false
+	}
+	return g.rng.Bernoulli(g.rate)
+}
+
+// gate reports whether cycle now attempts an injection, drawing any gating
+// decisions not already pre-drawn by next. Each cycle's gating is drawn
+// exactly once, in cycle order, wherever the decision is made.
+func (g *injectGate) gate(now int64) bool {
+	for g.drawnThrough < now {
+		if g.drawOne() {
+			g.nextInject = g.drawnThrough
+		}
+	}
+	if g.nextInject == now {
+		g.nextInject = -1 // consumed
+		return true
+	}
+	return false
+}
+
+// next pre-draws gating decisions forward and reports the next
+// injection-attempt cycle (the queue-occupancy check is the owner's).
+func (g *injectGate) next(now int64) int64 {
+	if g.nextInject >= now {
+		return g.nextInject
+	}
+	if g.rate <= 0 {
+		// No injection can ever happen, so the per-cycle gating draws can
+		// never be observed (destinations are drawn only on injection):
+		// skipping is invisible. gate catches the stream up if the engine
+		// ticks instead of jumping.
+		return sim.NoEvent
+	}
+	limit := now + ffwdHorizon
+	for g.drawnThrough < limit {
+		if g.drawOne() {
+			g.nextInject = g.drawnThrough
+			return g.nextInject
+		}
+	}
+	return g.drawnThrough + 1
 }
 
 // NewTrafficNode creates a traffic node for endpoint id (a switch id on
@@ -122,14 +194,13 @@ func NewTrafficNode(id int, topo Topology, cfg TrafficConfig, seed int64) *Traff
 		id: id, topo: topo, cfg: cfg,
 		rng:  sim.NewRNG(seed ^ int64(id)*0x9E37),
 		outQ: queue.NewFIFO[flit.Flit](cfg.QueueCap),
-
-		drawnThrough: -1, nextInject: -1,
 	}
+	t.inj = injectGate{rng: t.rng, rate: cfg.Rate, drawnThrough: -1, nextInject: -1}
 	if cfg.Burst != nil {
 		// The modulator draws from its own RNG stream so enabling bursts
 		// does not perturb the destination/injection stream of the base
 		// pattern beyond the gating itself.
-		t.burst = NewBurstModulator(*cfg.Burst, seed^int64(id)*0x9E37^0x5B75)
+		t.inj.burst = NewBurstModulator(*cfg.Burst, seed^int64(id)*0x9E37^0x5B75)
 	}
 	return t
 }
@@ -140,7 +211,7 @@ func (t *TrafficNode) Name() string { return fmt.Sprintf("traffic(%d)", t.id) }
 // Step implements sim.Component.
 func (t *TrafficNode) Step(now int64) {
 	t.now = now
-	if !t.gate(now) {
+	if !t.inj.gate(now) {
 		return
 	}
 	if t.outQ.Full() {
@@ -163,6 +234,9 @@ func (t *TrafficNode) Step(now int64) {
 	f.Meta.PacketID = uint64(t.id)<<40 | t.pktID
 	t.outQ.Push(f)
 	t.Sent.Inc()
+	if t.cfg.Record != nil {
+		t.cfg.Record.RecordInjection(now, t.id, dst, f.Data)
+	}
 }
 
 // destination picks this cycle's destination endpoint. All patterns are
@@ -209,34 +283,6 @@ func (t *TrafficNode) Deliver(flit.Flit, int64) { t.Recv.Inc() }
 // Pending returns the current source-queue occupancy.
 func (t *TrafficNode) Pending() int { return t.outQ.Len() }
 
-// drawOne draws cycle drawnThrough+1's gating randomness — the burst
-// modulator step first, then (only while on, mirroring Step's historical
-// short-circuit) the Bernoulli injection coin — and reports whether that
-// cycle attempts an injection.
-func (t *TrafficNode) drawOne() bool {
-	t.drawnThrough++
-	if t.burst != nil && !t.burst.Step() {
-		return false
-	}
-	return t.rng.Bernoulli(t.cfg.Rate)
-}
-
-// gate reports whether cycle now attempts an injection, drawing any gating
-// decisions not already pre-drawn by NextEvent. Each cycle's gating is
-// drawn exactly once, in cycle order, wherever the decision is made.
-func (t *TrafficNode) gate(now int64) bool {
-	for t.drawnThrough < now {
-		if t.drawOne() {
-			t.nextInject = t.drawnThrough
-		}
-	}
-	if t.nextInject == now {
-		t.nextInject = -1 // consumed
-		return true
-	}
-	return false
-}
-
 // ffwdHorizon bounds how many cycles of gating NextEvent pre-draws per
 // call. When no injection lands inside the horizon the engine may jump at
 // most this far and ask again — still a large multiple of a full tick's
@@ -251,24 +297,7 @@ func (t *TrafficNode) NextEvent(now int64) int64 {
 	if t.outQ.Len() > 0 {
 		return now
 	}
-	if t.nextInject >= now {
-		return t.nextInject
-	}
-	if t.cfg.Rate <= 0 {
-		// No injection can ever happen, so the per-cycle gating draws can
-		// never be observed (destinations are drawn only on injection):
-		// skipping is invisible. Step's gate catches the stream up if the
-		// engine ticks instead of jumping.
-		return sim.NoEvent
-	}
-	limit := now + ffwdHorizon
-	for t.drawnThrough < limit {
-		if t.drawOne() {
-			t.nextInject = t.drawnThrough
-			return t.nextInject
-		}
-	}
-	return t.drawnThrough + 1
+	return t.inj.next(now)
 }
 
 // trafficSnap is the checkpointed state of a TrafficNode.
@@ -292,11 +321,11 @@ func (t *TrafficNode) Snapshot() any {
 	s := trafficSnap{
 		rng: *t.rng, outQ: t.outQ.Snapshot(),
 		now: t.now, pktID: t.pktID,
-		drawnThrough: t.drawnThrough, nextInject: t.nextInject,
+		drawnThrough: t.inj.drawnThrough, nextInject: t.inj.nextInject,
 		sent: t.Sent, recv: t.Recv, throttled: t.Throttled, queueLat: t.QueueLat,
 	}
-	if t.burst != nil {
-		s.burst, s.hasBurst = t.burst.snapshot(), true
+	if t.inj.burst != nil {
+		s.burst, s.hasBurst = t.inj.burst.snapshot(), true
 	}
 	return s
 }
@@ -306,10 +335,10 @@ func (t *TrafficNode) Restore(snap any) {
 	s := snap.(trafficSnap)
 	*t.rng = s.rng
 	if s.hasBurst {
-		t.burst.restore(s.burst)
+		t.inj.burst.restore(s.burst)
 	}
 	t.outQ.Restore(s.outQ)
 	t.now, t.pktID = s.now, s.pktID
-	t.drawnThrough, t.nextInject = s.drawnThrough, s.nextInject
+	t.inj.drawnThrough, t.inj.nextInject = s.drawnThrough, s.nextInject
 	t.Sent, t.Recv, t.Throttled, t.QueueLat = s.sent, s.recv, s.throttled, s.queueLat
 }

@@ -41,7 +41,7 @@ func ExampleParseWorkload() {
 	fmt.Println(strings.Join(scenario.WorkloadNames(), ", "))
 	// Output:
 	// matmul true
-	// jacobi, matmul, syncbench, noc-synthetic
+	// jacobi, matmul, syncbench, noc-synthetic, trace, service
 }
 
 // Example_matmul sweeps the matmul kernel over the variants axis — the

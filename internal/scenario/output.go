@@ -113,11 +113,23 @@ func Summary(s *Scenario) string {
 		return fmt.Sprintf("%s: invalid workload axis", s.Name)
 	}
 	var axes string
-	if kinds[0] == WorkloadNoC {
+	switch kinds[0] {
+	case WorkloadNoC:
 		axes = fmt.Sprintf("%d topologies x %d routers x %d patterns x %d rates x %d seeds",
 			max(1, len(s.NoC.Topologies)), max(1, len(s.NoC.Routers)),
 			len(s.NoC.Patterns), len(s.NoC.Rates), len(s.seedList()))
-	} else {
+	case WorkloadTrace:
+		if t, err := s.Trace.load(); err == nil {
+			axes = fmt.Sprintf("%d topologies x %d routers replaying %d recorded events",
+				len(s.Trace.topologyList(t)), len(s.Trace.routerList(t)), len(t.Events))
+		} else {
+			axes = "trace replay"
+		}
+	case WorkloadService:
+		axes = fmt.Sprintf("%d topologies x %d routers x %d rates x %d seeds",
+			max(1, len(s.Service.Topologies)), max(1, len(s.Service.Routers)),
+			len(s.Service.ArrivalRates), len(s.seedList()))
+	default:
 		c := s.kernelConfig()
 		axes = fmt.Sprintf("%d workloads x %d variants x %d cores x %d caches x %d policies",
 			len(kinds), max(1, len(c.Variants)), len(c.Cores), len(c.CacheKB), max(1, len(c.Policies)))
@@ -347,5 +359,80 @@ func (nocWorkload) JSONRow(r Result) any {
 		Cycles: r.Cycles, Delivered: r.Delivered, Throughput: r.Throughput,
 		MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
 		DeflectionRate: r.DeflectionRate, PeakBuffer: r.PeakBuffer,
+	}
+}
+
+// ---- trace schema -------------------------------------------------------
+//
+// Replay rows come back labeled noc-synthetic (runTracePoint's contract:
+// a same-fabric replay renders byte-identically to its source run), so
+// these methods only serve hand-assembled rows that literally say
+// "trace"; they delegate to the noc schema those rows would have worn.
+
+func (traceWorkload) TableInto(w *tabwriter.Writer, rows []Result) { nocWorkload{}.TableInto(w, rows) }
+func (traceWorkload) CSVInto(b *strings.Builder, rows []Result)    { nocWorkload{}.CSVInto(b, rows) }
+func (traceWorkload) JSONRow(r Result) any                         { return nocWorkload{}.JSONRow(r) }
+
+// ---- service schema -----------------------------------------------------
+
+func (serviceWorkload) TableInto(w *tabwriter.Writer, rows []Result) {
+	fmt.Fprintln(w, "topo\trouter\tservers\trate\tskew\tseed\tcycles\tissued\tdone\tmean-lat\tp99-lat\tqueue\tnet-out\tserver\tnet-back\tp99-srv\tpeak-buf\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.3f\t%.2f\t%d\t%d\t%d\t%d\t%.1f\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.0f\t%d\t\n",
+			r.Topology, r.Router, r.Servers, r.ArrivalRate, r.HotspotSkew, r.Seed, r.Cycles,
+			r.Issued, r.Completed, r.MeanLatency, r.P99Latency,
+			r.MeanQueue, r.MeanNetOut, r.MeanServer, r.MeanNetBack, r.P99Server, r.PeakBuffer)
+	}
+}
+
+func (serviceWorkload) CSVInto(b *strings.Builder, rows []Result) {
+	b.WriteString("topology,router,servers,arrival_rate,hotspot_skew,seed,bursty,cycles,issued,completed,in_flight,throttled,throughput,mean_queue,mean_net_out,mean_server,mean_net_back,mean_latency,p99_latency,p99_server,peak_buffer\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "%s,%s,%d,%g,%g,%d,%t,%d,%d,%d,%d,%d,%.6f,%.3f,%.3f,%.3f,%.3f,%.3f,%g,%g,%d\n",
+			r.Topology, r.Router, r.Servers, r.ArrivalRate, r.HotspotSkew, r.Seed, r.Bursty, r.Cycles,
+			r.Issued, r.Completed, r.InFlight, r.Throttled, r.Throughput,
+			r.MeanQueue, r.MeanNetOut, r.MeanServer, r.MeanNetBack,
+			r.MeanLatency, r.P99Latency, r.P99Server, r.PeakBuffer)
+	}
+}
+
+type serviceJSON struct {
+	Scenario    string  `json:"scenario"`
+	Workload    string  `json:"workload"`
+	Topology    string  `json:"topology"`
+	Router      string  `json:"router"`
+	Servers     int     `json:"servers"`
+	ArrivalRate float64 `json:"arrival_rate"`
+	HotspotSkew float64 `json:"hotspot_skew"`
+	Seed        int64   `json:"seed"`
+	Bursty      bool    `json:"bursty"`
+	Cycles      int64   `json:"cycles"`
+	Issued      int64   `json:"issued"`
+	Completed   int64   `json:"completed"`
+	InFlight    int64   `json:"in_flight"`
+	Throttled   int64   `json:"throttled"`
+	Throughput  float64 `json:"throughput"`
+	MeanQueue   float64 `json:"mean_queue"`
+	MeanNetOut  float64 `json:"mean_net_out"`
+	MeanServer  float64 `json:"mean_server"`
+	MeanNetBack float64 `json:"mean_net_back"`
+	MeanLatency float64 `json:"mean_latency"`
+	P99Latency  float64 `json:"p99_latency"`
+	P99Server   float64 `json:"p99_server"`
+	PeakBuffer  int     `json:"peak_buffer"`
+}
+
+func (serviceWorkload) JSONRow(r Result) any {
+	return serviceJSON{
+		Scenario: r.Scenario, Workload: r.Workload,
+		Topology: r.Topology, Router: r.Router,
+		Servers: r.Servers, ArrivalRate: r.ArrivalRate, HotspotSkew: r.HotspotSkew,
+		Seed: r.Seed, Bursty: r.Bursty, Cycles: r.Cycles,
+		Issued: r.Issued, Completed: r.Completed, InFlight: r.InFlight, Throttled: r.Throttled,
+		Throughput: r.Throughput,
+		MeanQueue:  r.MeanQueue, MeanNetOut: r.MeanNetOut,
+		MeanServer: r.MeanServer, MeanNetBack: r.MeanNetBack,
+		MeanLatency: r.MeanLatency, P99Latency: r.P99Latency, P99Server: r.P99Server,
+		PeakBuffer: r.PeakBuffer,
 	}
 }

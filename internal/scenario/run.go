@@ -67,6 +67,25 @@ type Result struct {
 	AreaMM2       float64 `json:"area_mm2,omitempty"`
 	Speedup       float64 `json:"speedup,omitempty"` // also filled for matmul/syncbench
 
+	// Service axes (the topology/router/seed axes above are shared) and
+	// metrics: request counts, the per-request latency breakdown means
+	// (queue + net_out + server + net_back = mean_latency), and the
+	// server-side p99. Cycles/Throughput/MeanLatency/P99Latency/PeakBuffer
+	// above are shared too — Throughput is completed requests per client
+	// per cycle on service rows.
+	Servers     int     `json:"servers,omitempty"`
+	ArrivalRate float64 `json:"arrival_rate,omitempty"`
+	HotspotSkew float64 `json:"hotspot_skew,omitempty"`
+	Issued      int64   `json:"issued,omitempty"`
+	Completed   int64   `json:"completed,omitempty"`
+	InFlight    int64   `json:"in_flight,omitempty"`
+	Throttled   int64   `json:"throttled,omitempty"`
+	MeanQueue   float64 `json:"mean_queue,omitempty"`
+	MeanNetOut  float64 `json:"mean_net_out,omitempty"`
+	MeanServer  float64 `json:"mean_server,omitempty"`
+	MeanNetBack float64 `json:"mean_net_back,omitempty"`
+	P99Server   float64 `json:"p99_server,omitempty"`
+
 	// Matmul metrics: barrier-to-barrier total and the B-distribution
 	// phase alone.
 	TotalCycles    int64 `json:"total_cycles,omitempty"`
@@ -208,15 +227,22 @@ func runNoCShard(ctx context.Context, s *Scenario, points []int) ([]Result, erro
 		}
 		jobs = sel
 	}
+	// Recording bypasses the cache: a hit would skip the simulation and
+	// record nothing (RecordCtx also detaches the cache, this is the
+	// defence in depth for hand-wired scenarios).
+	rcache := s.Cache
+	if s.Record != nil {
+		rcache = nil
+	}
 	results := make([]Result, len(jobs))
 	if err := par.ForEachCtx(ctx, len(jobs), s.Parallelism, func(i int) error {
 		j := jobs[i]
 		var r Result
 		var err error
 		if j.group == nil {
-			r, err = runNoCPoint(ctx, s.Cache, j.topo, c, j.router, j.pattern, j.rate, j.seed)
+			r, err = runNoCPoint(ctx, rcache, s.Record, j.topo, c, j.router, j.pattern, j.rate, j.seed)
 		} else {
-			r, err = runNoCWindowPoint(ctx, s.Cache, j.topo, c, j.router, j.pattern, j.rate, j.seed, j.window, j.group)
+			r, err = runNoCWindowPoint(ctx, rcache, j.topo, c, j.router, j.pattern, j.rate, j.seed, j.window, j.group)
 		}
 		if err != nil {
 			return err
@@ -344,14 +370,16 @@ func nocResult(topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern n
 // through noc.MeasureCtx, the execution path shared with
 // dse.RouterAblation, dse.TopologyAblation and cmd/medea-noc, recalling it
 // from the result cache when one is attached.
-func runNoCPoint(ctx context.Context, rc *resultcache.Cache, topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) (Result, error) {
+func runNoCPoint(ctx context.Context, rc *resultcache.Cache, rec noc.InjectionRecorder, topo noc.Topology, c *NoCConfig, router noc.RouterKind, pattern noc.Pattern, rate float64, seed int64) (Result, error) {
 	measure := c.MeasureCycles
 	if measure == 0 {
 		measure = 5000
 	}
 	key := nocPointKey(topo, c, router, pattern, rate, seed, measure)
 	buf, _, err := rc.GetOrCompute(key, func() ([]byte, error) {
-		m, err := noc.MeasureCtx(ctx, topo, nocMeasureConfig(c, router, pattern, rate, seed, measure))
+		mc := nocMeasureConfig(c, router, pattern, rate, seed, measure)
+		mc.Traffic.Record = rec
+		m, err := noc.MeasureCtx(ctx, topo, mc)
 		if err != nil {
 			return nil, err
 		}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/jacobi"
 	"repro/internal/noc"
 	"repro/internal/resultcache"
+	"repro/internal/trace"
 )
 
 // Output format names for Scenario.Output and the CLI -format flag.
@@ -73,6 +74,11 @@ type Scenario struct {
 
 	// NoC configures the noc-synthetic workload (required for it).
 	NoC *NoCConfig `json:"noc,omitempty"`
+	// Trace configures the trace workload (required for it): the recorded
+	// trace file to replay and the replay sweep axes.
+	Trace *TraceConfig `json:"trace,omitempty"`
+	// Service configures the service workload (required for it).
+	Service *ServiceConfig `json:"service,omitempty"`
 	// Kernel configures the kernel workloads (required for them).
 	Kernel *KernelConfig `json:"kernel,omitempty"`
 	// Jacobi is the pre-workload-axis alias for Kernel, kept so existing
@@ -108,6 +114,12 @@ type Scenario struct {
 	// internal/serve) attach it after Load. nil means cache off; rendered
 	// output is byte-identical either way.
 	Cache *resultcache.Cache `json:"-"`
+
+	// Record, when non-nil, receives every flit-level injection of the
+	// run (trace capture; see RecordCtx, which is how callers should
+	// record). Runtime state like Cache. Recording bypasses the result
+	// cache: a cache hit skips the simulation and would record nothing.
+	Record noc.InjectionRecorder `json:"-"`
 }
 
 // NoCConfig describes a synthetic-traffic experiment on the bare network.
@@ -160,6 +172,275 @@ type BurstConfig struct {
 	MeanOff float64 `json:"mean_off"`
 }
 
+// TraceConfig describes a trace-replay experiment: a recorded trace file
+// (see internal/trace) pushed through the replay sweep axes. The trace
+// itself fixes everything else — the endpoint grid, the event schedule
+// and the measurement horizon — so the replay axes are topology and
+// router only; patterns, rates, seeds and measurement windows have no
+// meaning here and validation rejects them.
+type TraceConfig struct {
+	// File is the trace to replay. Load resolves a relative path against
+	// the scenario file's directory (Parse, with no file, leaves it
+	// relative to the process working directory).
+	File string `json:"file"`
+	// Topologies lists replay fabrics by name (see noc.TopologyNames);
+	// one sweep axis. Empty means the fabric the trace was recorded on.
+	Topologies []string `json:"topologies,omitempty"`
+	// Routers lists replay routers by name (see noc.RouterNames); one
+	// sweep axis. Empty means the router the trace was recorded under.
+	Routers []string `json:"routers,omitempty"`
+
+	// tr memoizes the decoded trace (validate loads it; runs reuse it).
+	tr *trace.Trace
+}
+
+// load returns the decoded trace, reading File on first use.
+func (c *TraceConfig) load() (*trace.Trace, error) {
+	if c.tr == nil {
+		t, err := trace.Load(c.File)
+		if err != nil {
+			return nil, err
+		}
+		c.tr = t
+	}
+	return c.tr, nil
+}
+
+func (c *TraceConfig) validate() error {
+	if c.File == "" {
+		return fmt.Errorf(`"trace.file" must name a recorded trace (record one with medea-scenarios -record or medea-noc -record)`)
+	}
+	t, err := c.load()
+	if err != nil {
+		return fmt.Errorf(`"trace.file": %w`, err)
+	}
+	seenT := map[noc.TopologyKind]bool{}
+	for _, name := range c.Topologies {
+		k, err := noc.ParseTopology(name)
+		if err != nil {
+			return fmt.Errorf(`"trace.topologies": %w`, err)
+		}
+		if seenT[k] {
+			return fmt.Errorf(`"trace.topologies": %v listed twice`, k)
+		}
+		seenT[k] = true
+		if _, err := noc.NewTopologyOfKind(k, t.Header.Width, t.Header.Height); err != nil {
+			return fmt.Errorf(`"trace.topologies": the trace's %dx%d grid: %w`, t.Header.Width, t.Header.Height, err)
+		}
+	}
+	seenR := map[noc.RouterKind]bool{}
+	for _, name := range c.Routers {
+		k, err := noc.ParseRouter(name)
+		if err != nil {
+			return fmt.Errorf(`"trace.routers": %w`, err)
+		}
+		if seenR[k] {
+			return fmt.Errorf(`"trace.routers": %v listed twice`, k)
+		}
+		seenR[k] = true
+	}
+	// The default axes come from the recorded provenance; they must
+	// resolve too (a trace hand-built with an exotic header fails here,
+	// not mid-run).
+	if len(c.Topologies) == 0 {
+		k, err := noc.ParseTopology(t.Header.Topology)
+		if err != nil {
+			return fmt.Errorf(`"trace.file": recorded topology: %w`, err)
+		}
+		if _, err := noc.NewTopologyOfKind(k, t.Header.Width, t.Header.Height); err != nil {
+			return fmt.Errorf(`"trace.file": recorded fabric: %w`, err)
+		}
+	}
+	if len(c.Routers) == 0 {
+		if _, err := noc.ParseRouter(t.Header.Router); err != nil {
+			return fmt.Errorf(`"trace.file": recorded router: %w`, err)
+		}
+	}
+	return nil
+}
+
+// topologyList resolves the replay-topology axis (default: the recorded
+// fabric). The scenario must have passed Validate.
+func (c *TraceConfig) topologyList(t *trace.Trace) []noc.TopologyKind {
+	names := c.Topologies
+	if len(names) == 0 {
+		names = []string{t.Header.Topology}
+	}
+	kinds := make([]noc.TopologyKind, len(names))
+	for i, name := range names {
+		k, err := noc.ParseTopology(name)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: validated replay topology failed to parse: %v", err))
+		}
+		kinds[i] = k
+	}
+	return kinds
+}
+
+// routerList resolves the replay-router axis (default: the recorded
+// router). The scenario must have passed Validate.
+func (c *TraceConfig) routerList(t *trace.Trace) []noc.RouterKind {
+	names := c.Routers
+	if len(names) == 0 {
+		names = []string{t.Header.Router}
+	}
+	kinds := make([]noc.RouterKind, len(names))
+	for i, name := range names {
+		k, err := noc.ParseRouter(name)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: validated replay router failed to parse: %v", err))
+		}
+		kinds[i] = k
+	}
+	return kinds
+}
+
+// ServiceConfig describes a request/response service experiment on the
+// bare network: the last Servers endpoints answer requests issued
+// open-loop by every other endpoint.
+type ServiceConfig struct {
+	// Width and Height size the endpoint grid (as NoCConfig).
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Topologies lists fabrics by name; one sweep axis (default torus).
+	Topologies []string `json:"topologies,omitempty"`
+	// Routers lists router algorithms by name; one sweep axis (default
+	// deflection).
+	Routers []string `json:"routers,omitempty"`
+	// Servers is how many endpoints (the highest-numbered ones) serve
+	// requests; must leave at least one client.
+	Servers int `json:"servers"`
+	// ArrivalRates lists per-client request probabilities per cycle, each
+	// in (0, 1]; one sweep axis.
+	ArrivalRates []float64 `json:"arrival_rates"`
+	// ThinkTime is the server-side service time per request in cycles
+	// (0 and 1 are equivalent; see noc.ServiceMeasureConfig).
+	ThinkTime int64 `json:"think_time,omitempty"`
+	// ResponseFlits is the response size in flits (default 1).
+	ResponseFlits int `json:"response_flits,omitempty"`
+	// HotspotSkew is the probability a request targets the first server
+	// instead of a uniformly random one (0 = uniform).
+	HotspotSkew float64 `json:"hotspot_skew,omitempty"`
+	// QueueCap bounds each client's source queue (default 16).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Burst, when present, gates client arrivals through the two-state
+	// modulator.
+	Burst *BurstConfig `json:"burst,omitempty"`
+	// WarmupCycles run before measurement starts (default 0).
+	WarmupCycles int64 `json:"warmup_cycles,omitempty"`
+	// MeasureCycles is the measurement window (default 5000).
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+}
+
+func (c *ServiceConfig) validate() error {
+	seenT := map[noc.TopologyKind]bool{}
+	topos := make([]noc.Topology, 0, len(c.Topologies)+1)
+	for _, name := range c.Topologies {
+		k, err := noc.ParseTopology(name)
+		if err != nil {
+			return fmt.Errorf(`"service.topologies": %w`, err)
+		}
+		if seenT[k] {
+			return fmt.Errorf(`"service.topologies": %v listed twice`, k)
+		}
+		seenT[k] = true
+		topo, err := noc.NewTopologyOfKind(k, c.Width, c.Height)
+		if err != nil {
+			return fmt.Errorf(`"service": %w`, err)
+		}
+		topos = append(topos, topo)
+	}
+	if len(topos) == 0 {
+		topo, err := noc.NewTopology(c.Width, c.Height)
+		if err != nil {
+			return fmt.Errorf(`"service": %w`, err)
+		}
+		topos = append(topos, topo)
+	}
+	seenR := map[noc.RouterKind]bool{}
+	for _, name := range c.Routers {
+		k, err := noc.ParseRouter(name)
+		if err != nil {
+			return fmt.Errorf(`"service.routers": %w`, err)
+		}
+		if seenR[k] {
+			return fmt.Errorf(`"service.routers": %v listed twice`, k)
+		}
+		seenR[k] = true
+	}
+	if c.Servers < 1 {
+		return fmt.Errorf(`"service.servers" must be >= 1, got %d`, c.Servers)
+	}
+	endpoints := topos[0].NumEndpoints()
+	if c.Servers >= endpoints {
+		return fmt.Errorf(`"service.servers": %d servers on the %dx%d grid's %d endpoints must leave at least one client; use at most %d servers`,
+			c.Servers, c.Width, c.Height, endpoints, endpoints-1)
+	}
+	if len(c.ArrivalRates) == 0 {
+		return fmt.Errorf(`"service.arrival_rates" must list at least one per-client rate in (0, 1]`)
+	}
+	for _, r := range c.ArrivalRates {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf(`"service.arrival_rates": rate %g outside (0, 1]`, r)
+		}
+	}
+	if c.ThinkTime < 0 {
+		return fmt.Errorf(`"service.think_time" must be >= 0, got %d`, c.ThinkTime)
+	}
+	if c.ResponseFlits < 0 {
+		return fmt.Errorf(`"service.response_flits" must be >= 0, got %d`, c.ResponseFlits)
+	}
+	if c.HotspotSkew < 0 || c.HotspotSkew > 1 {
+		return fmt.Errorf(`"service.hotspot_skew" must be in [0, 1], got %g`, c.HotspotSkew)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf(`"service.queue_cap" must be >= 0, got %d`, c.QueueCap)
+	}
+	if c.Burst != nil {
+		if err := (noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}).Validate(); err != nil {
+			return fmt.Errorf(`"service.burst": %w`, err)
+		}
+	}
+	if c.WarmupCycles < 0 {
+		return fmt.Errorf(`"service.warmup_cycles" must be >= 0, got %d`, c.WarmupCycles)
+	}
+	if c.MeasureCycles < 0 {
+		return fmt.Errorf(`"service.measure_cycles" must be >= 0, got %d`, c.MeasureCycles)
+	}
+	return nil
+}
+
+// topologyList and routerList mirror NoCConfig's axis resolution.
+func (c *ServiceConfig) topologyList() []noc.TopologyKind {
+	if len(c.Topologies) == 0 {
+		return []noc.TopologyKind{noc.TopoTorus}
+	}
+	kinds := make([]noc.TopologyKind, len(c.Topologies))
+	for i, name := range c.Topologies {
+		k, err := noc.ParseTopology(name)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: validated topology failed to parse: %v", err))
+		}
+		kinds[i] = k
+	}
+	return kinds
+}
+
+func (c *ServiceConfig) routerList() []noc.RouterKind {
+	if len(c.Routers) == 0 {
+		return []noc.RouterKind{noc.RouterDeflection}
+	}
+	kinds := make([]noc.RouterKind, len(c.Routers))
+	for i, name := range c.Routers {
+		k, err := noc.ParseRouter(name)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: validated router failed to parse: %v", err))
+		}
+		kinds[i] = k
+	}
+	return kinds
+}
+
 // KernelConfig describes a design-space sweep of the kernel workloads
 // (jacobi, matmul, syncbench) on the full MEDEA system. The axes are
 // shared: one section drives every kernel listed in "workloads".
@@ -193,25 +474,49 @@ type KernelConfig struct {
 }
 
 // Load reads, parses and validates a scenario file. An empty Name is
-// defaulted from the file's base name.
+// defaulted from the file's base name, and a relative trace path is
+// resolved against the file's directory — before validation, which loads
+// the trace. The resolved path also makes the scenario portable through
+// the shard transport (workers may run in a different directory).
 func Load(path string) (*Scenario, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	s, err := Parse(data)
+	s, err := decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %s: %w", path, err)
 	}
 	if s.Name == "" {
 		s.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	}
+	if s.Trace != nil && s.Trace.File != "" && !filepath.IsAbs(s.Trace.File) {
+		s.Trace.File = filepath.Join(filepath.Dir(path), s.Trace.File)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
 	return s, nil
 }
 
 // Parse decodes and validates a scenario from JSON bytes. Unknown fields
 // are rejected so typos fail loudly instead of silently running defaults.
+// A relative trace path resolves against the process working directory;
+// use Load to resolve it against the scenario file instead.
 func Parse(data []byte) (*Scenario, error) {
+	s, err := decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decode parses the JSON without validating, so Load can resolve paths
+// first.
+func decode(data []byte) (*Scenario, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var s Scenario
@@ -220,9 +525,6 @@ func Parse(data []byte) (*Scenario, error) {
 	}
 	if dec.More() {
 		return nil, fmt.Errorf("parsing: trailing data after the scenario object")
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
 	}
 	return &s, nil
 }
@@ -314,19 +616,71 @@ func (s *Scenario) Validate() error {
 		}
 	}
 
-	if kinds[0] == WorkloadNoC {
+	switch kinds[0] {
+	case WorkloadNoC:
 		if s.kernelConfig() != nil {
 			return fmt.Errorf(`the "kernel"/"jacobi" section has no effect on workload %v; remove it`, WorkloadNoC)
+		}
+		if err := s.rejectSections(WorkloadNoC, s.Trace != nil, s.Service != nil); err != nil {
+			return err
 		}
 		if s.NoC == nil {
 			return fmt.Errorf(`workload %v needs a "noc" section`, WorkloadNoC)
 		}
 		return s.NoC.validate()
+
+	case WorkloadTrace:
+		// The trace fixes the traffic and the horizon, so none of the
+		// noc-synthetic axes can apply; naming the common offenders keeps
+		// the error actionable.
+		if s.NoC != nil {
+			if len(s.NoC.MeasureWindows) > 0 {
+				return fmt.Errorf(`"noc.measure_windows" cannot apply to the trace workload: a replay's horizon is fixed by the recording; remove the "noc" section`)
+			}
+			if len(s.NoC.Patterns) > 0 || len(s.NoC.Rates) > 0 {
+				return fmt.Errorf(`the trace workload replays recorded traffic: the "noc" patterns/rates axes cannot apply; remove the "noc" section (replay axes live under "trace")`)
+			}
+			return fmt.Errorf(`the "noc" section has no effect on the trace workload; remove it (replay axes live under "trace")`)
+		}
+		if s.kernelConfig() != nil {
+			return fmt.Errorf(`the "kernel"/"jacobi" section has no effect on the trace workload; remove it`)
+		}
+		if s.Service != nil {
+			return fmt.Errorf(`the "service" section has no effect on the trace workload; remove it`)
+		}
+		if len(s.Seeds) > 0 || s.Replications > 1 || s.BaseSeed != 0 {
+			return fmt.Errorf(`a trace replay is fully deterministic (the recording fixed the traffic): seeds/replications/base_seed have no effect; remove them`)
+		}
+		if s.Trace == nil {
+			return fmt.Errorf(`workload %v needs a "trace" section`, WorkloadTrace)
+		}
+		return s.Trace.validate()
+
+	case WorkloadService:
+		if err := s.rejectSections(WorkloadService, s.Trace != nil, false); err != nil {
+			return err
+		}
+		if s.NoC != nil {
+			return fmt.Errorf(`the "noc" section has no effect on workload %v; remove it (the sweep axes live under "service")`, WorkloadService)
+		}
+		if s.kernelConfig() != nil {
+			return fmt.Errorf(`the "kernel"/"jacobi" section has no effect on workload %v; remove it`, WorkloadService)
+		}
+		if s.Service == nil {
+			return fmt.Errorf(`workload %v needs a "service" section`, WorkloadService)
+		}
+		return s.Service.validate()
 	}
 
 	// Kernel workloads.
 	if s.NoC != nil {
 		return fmt.Errorf(`the "noc" section has no effect on kernel workloads; remove it`)
+	}
+	if s.Trace != nil {
+		return fmt.Errorf(`the "trace" section has no effect on kernel workloads; remove it`)
+	}
+	if s.Service != nil {
+		return fmt.Errorf(`the "service" section has no effect on kernel workloads; remove it`)
 	}
 	if s.Kernel != nil && s.Jacobi != nil {
 		return fmt.Errorf(`set either "kernel" or its "jacobi" alias, not both`)
@@ -345,6 +699,18 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("kernel workloads are fully deterministic: seeds/replications/base_seed have no effect; remove them")
 	}
 	return cfg.validate(kinds)
+}
+
+// rejectSections rejects the trace/service sections for a workload they
+// cannot configure.
+func (s *Scenario) rejectSections(k WorkloadKind, hasTrace, hasService bool) error {
+	if hasTrace {
+		return fmt.Errorf(`the "trace" section has no effect on workload %v; remove it`, k)
+	}
+	if hasService {
+		return fmt.Errorf(`the "service" section has no effect on workload %v; remove it`, k)
+	}
+	return nil
 }
 
 func hasKind(kinds []WorkloadKind, k WorkloadKind) bool {
@@ -613,13 +979,23 @@ func (s *Scenario) NumPoints() int {
 // kindPoints returns the number of sweep points one workload kind
 // contributes, matching the canonical point order its Run produces.
 func (s *Scenario) kindPoints(k WorkloadKind) int {
-	if k == WorkloadNoC {
+	switch k {
+	case WorkloadNoC:
 		n := len(s.NoC.topologyList()) * len(s.NoC.routerList()) *
 			len(s.NoC.Patterns) * len(s.NoC.Rates) * len(s.seedList())
 		if w := len(s.NoC.MeasureWindows); w > 0 {
 			n *= w
 		}
 		return n
+	case WorkloadTrace:
+		t, err := s.Trace.load()
+		if err != nil {
+			return 0
+		}
+		return len(s.Trace.topologyList(t)) * len(s.Trace.routerList(t))
+	case WorkloadService:
+		return len(s.Service.topologyList()) * len(s.Service.routerList()) *
+			len(s.Service.ArrivalRates) * len(s.seedList())
 	}
 	c := s.kernelConfig()
 	pols := len(c.Policies)

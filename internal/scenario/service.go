@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/par"
+	"repro/internal/resultcache"
+)
+
+// runServiceShard expands topologies x routers x arrival_rates x seeds
+// and executes each request/response point on the shared worker pool,
+// mirroring runNoCShard's structure (and its canonical point order for
+// the shard protocol).
+func runServiceShard(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
+	c := s.Service
+	type job struct {
+		idx    int
+		topo   noc.Topology
+		router noc.RouterKind
+		rate   float64
+		seed   int64
+	}
+	var jobs []job
+	for _, tk := range c.topologyList() {
+		topo, err := noc.NewTopologyOfKind(tk, c.Width, c.Height)
+		if err != nil {
+			return nil, err
+		}
+		for _, router := range c.routerList() {
+			for _, rate := range c.ArrivalRates {
+				for _, seed := range s.seedList() {
+					jobs = append(jobs, job{idx: len(jobs), topo: topo, router: router, rate: rate, seed: seed})
+				}
+			}
+		}
+	}
+	if points != nil {
+		sel := make([]job, len(points))
+		for i, p := range points {
+			if p < 0 || p >= len(jobs) {
+				return nil, fmt.Errorf("scenario: point filter index %d outside the %d-point service sweep", p, len(jobs))
+			}
+			sel[i] = jobs[p]
+			sel[i].idx = i
+		}
+		jobs = sel
+	}
+	results := make([]Result, len(jobs))
+	if err := par.ForEachCtx(ctx, len(jobs), s.Parallelism, func(i int) error {
+		j := jobs[i]
+		r, err := runServicePoint(ctx, s.Cache, j.topo, c, j.router, j.rate, j.seed)
+		if err != nil {
+			return err
+		}
+		r.Scenario = s.Name
+		results[j.idx] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// servicePointValue is the cached measurement of one service point; like
+// nocPointValue it drops CyclesSkipped so cached and fresh points stay
+// byte-identical, and axis labels reattach from the job.
+type servicePointValue struct {
+	Cycles      int64   `json:"cycles"`
+	Issued      int64   `json:"issued"`
+	Completed   int64   `json:"completed"`
+	InFlight    int64   `json:"in_flight"`
+	Throttled   int64   `json:"throttled"`
+	Throughput  float64 `json:"throughput"`
+	MeanQueue   float64 `json:"mean_queue"`
+	MeanNetOut  float64 `json:"mean_net_out"`
+	MeanServer  float64 `json:"mean_server"`
+	MeanNetBack float64 `json:"mean_net_back"`
+	MeanLatency float64 `json:"mean_latency"`
+	P99Latency  float64 `json:"p99_latency"`
+	P99Server   float64 `json:"p99_server"`
+	PeakBuffer  int     `json:"peak_buffer"`
+}
+
+// servicePointKey derives the content address of one service point from
+// every input the measurement depends on, defaults resolved first.
+func servicePointKey(topo noc.Topology, c *ServiceConfig, router noc.RouterKind, rate float64, seed, measure int64) resultcache.Key {
+	b := resultcache.NewKey("scenario/service").
+		Str("topology", topo.Kind().String()).
+		Int("width", int64(c.Width)).
+		Int("height", int64(c.Height)).
+		Str("router", router.String()).
+		Int("servers", int64(c.Servers)).
+		Float("arrival_rate", rate).
+		Int("think_time", c.ThinkTime).
+		Int("response_flits", int64(c.ResponseFlits)).
+		Float("hotspot_skew", c.HotspotSkew).
+		Int("queue_cap", int64(c.QueueCap)).
+		Int("seed", seed).
+		Int("warmup_cycles", c.WarmupCycles).
+		Int("measure_cycles", measure)
+	if c.Burst != nil {
+		b.Float("burst_mean_on", c.Burst.MeanOn).Float("burst_mean_off", c.Burst.MeanOff)
+	}
+	return b.Sum()
+}
+
+// runServicePoint simulates one (topology, router, rate, seed) service
+// point through noc.MeasureServiceCtx, recalling it from the result cache
+// when one is attached.
+func runServicePoint(ctx context.Context, rc *resultcache.Cache, topo noc.Topology, c *ServiceConfig, router noc.RouterKind, rate float64, seed int64) (Result, error) {
+	measure := c.MeasureCycles
+	if measure == 0 {
+		measure = 5000
+	}
+	key := servicePointKey(topo, c, router, rate, seed, measure)
+	buf, _, err := rc.GetOrCompute(key, func() ([]byte, error) {
+		var burst *noc.BurstConfig
+		if c.Burst != nil {
+			burst = &noc.BurstConfig{MeanOn: c.Burst.MeanOn, MeanOff: c.Burst.MeanOff}
+		}
+		m, err := noc.MeasureServiceCtx(ctx, topo, noc.ServiceMeasureConfig{
+			Router:        router,
+			Servers:       c.Servers,
+			ArrivalRate:   rate,
+			ThinkTime:     c.ThinkTime,
+			ResponseFlits: c.ResponseFlits,
+			HotspotSkew:   c.HotspotSkew,
+			QueueCap:      c.QueueCap,
+			Burst:         burst,
+			Warmup:        c.WarmupCycles,
+			Measure:       measure,
+			Seed:          seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(servicePointValue{
+			Cycles:      m.Cycles,
+			Issued:      m.Issued,
+			Completed:   m.Completed,
+			InFlight:    m.InFlight,
+			Throttled:   m.Throttled,
+			Throughput:  m.Throughput,
+			MeanQueue:   m.MeanQueue,
+			MeanNetOut:  m.MeanNetOut,
+			MeanServer:  m.MeanServer,
+			MeanNetBack: m.MeanNetBack,
+			MeanLatency: m.MeanLatency,
+			P99Latency:  m.P99Latency,
+			P99Server:   m.P99Server,
+			PeakBuffer:  m.PeakBuffer,
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var m servicePointValue
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return Result{}, fmt.Errorf("scenario: decoding cached service point %s: %w", key, err)
+	}
+	return Result{
+		Workload:    WorkloadService.String(),
+		Topology:    topo.Kind().String(),
+		Router:      router.String(),
+		Seed:        seed,
+		Bursty:      c.Burst != nil,
+		Servers:     c.Servers,
+		ArrivalRate: rate,
+		HotspotSkew: c.HotspotSkew,
+		Cycles:      m.Cycles,
+		Issued:      m.Issued,
+		Completed:   m.Completed,
+		InFlight:    m.InFlight,
+		Throttled:   m.Throttled,
+		Throughput:  m.Throughput,
+		MeanQueue:   m.MeanQueue,
+		MeanNetOut:  m.MeanNetOut,
+		MeanServer:  m.MeanServer,
+		MeanNetBack: m.MeanNetBack,
+		MeanLatency: m.MeanLatency,
+		P99Latency:  m.P99Latency,
+		P99Server:   m.P99Server,
+		PeakBuffer:  m.PeakBuffer,
+	}, nil
+}

@@ -21,10 +21,12 @@ import (
 // it up through the registry.
 type WorkloadKind int
 
-// The four workload implementations. The first three are compute kernels
+// The six workload implementations. The first three are compute kernels
 // on the full MEDEA system (cores + caches + MPMMU over the NoC), sharing
 // the kernel sweep axes (variants x policies x caches x cores) and the
-// dse.KernelSweep execution path; noc-synthetic drives the bare network.
+// dse.KernelSweep execution path; the rest drive the bare network:
+// noc-synthetic with generated traffic, trace with recorded traffic, and
+// service with request/response traffic.
 const (
 	// WorkloadJacobi runs the paper's Jacobi application: per-iteration
 	// halo exchange, the latency-bound communication profile.
@@ -37,6 +39,13 @@ const (
 	WorkloadSyncbench
 	// WorkloadNoC runs synthetic traffic on the bare network.
 	WorkloadNoC
+	// WorkloadTrace replays a recorded trace file (see internal/trace)
+	// through any router x topology on the bare network.
+	WorkloadTrace
+	// WorkloadService runs request/response traffic on the bare network:
+	// client endpoints issue requests to server endpoints and await
+	// responses, with per-request latency breakdowns.
+	WorkloadService
 
 	// numWorkloads counts the defined workload kinds (keep it last).
 	numWorkloads
@@ -54,15 +63,24 @@ func (k WorkloadKind) String() string {
 		return "syncbench"
 	case WorkloadNoC:
 		return "noc-synthetic"
+	case WorkloadTrace:
+		return "trace"
+	case WorkloadService:
+		return "service"
 	}
 	return fmt.Sprintf("workload(%d)", int(k))
 }
 
 // IsKernel reports whether the kind is a compute kernel on the full MEDEA
-// system (sharing the kernel sweep axes), as opposed to synthetic traffic
-// on the bare network. Only kernel kinds may appear in the "workloads"
-// sweep axis.
-func (k WorkloadKind) IsKernel() bool { return k != WorkloadNoC }
+// system (sharing the kernel sweep axes), as opposed to a bare-network
+// workload. Only kernel kinds may appear in the "workloads" sweep axis.
+func (k WorkloadKind) IsKernel() bool {
+	switch k {
+	case WorkloadJacobi, WorkloadMatmul, WorkloadSyncbench:
+		return true
+	}
+	return false
+}
 
 // AllWorkloads returns every defined workload kind in declaration order.
 func AllWorkloads() []WorkloadKind {
@@ -139,6 +157,8 @@ var workloadImpls = func() [numWorkloads]Workload {
 	impls[WorkloadMatmul] = matmulWorkload{kernelWorkload{WorkloadMatmul, dse.KernelMatmul}}
 	impls[WorkloadSyncbench] = syncbenchWorkload{kernelWorkload{WorkloadSyncbench, dse.KernelSyncbench}}
 	impls[WorkloadNoC] = nocWorkload{}
+	impls[WorkloadTrace] = traceWorkload{}
+	impls[WorkloadService] = serviceWorkload{}
 	return impls
 }()
 
@@ -238,4 +258,35 @@ func (nocWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) {
 
 func (nocWorkload) RunShard(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
 	return runNoCShard(ctx, s, points)
+}
+
+// traceWorkload replays a recorded trace through the replay sweep axes;
+// its Run body lives in trace.go. Replayed rows carry the noc-synthetic
+// schema (a same-fabric replay renders byte-identically to its source
+// run), so the render methods delegate to the noc schema for the rare
+// hand-assembled row that still says "trace".
+type traceWorkload struct{}
+
+func (traceWorkload) Kind() WorkloadKind { return WorkloadTrace }
+
+func (traceWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) {
+	return runTraceShard(ctx, s, nil)
+}
+
+func (traceWorkload) RunShard(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
+	return runTraceShard(ctx, s, points)
+}
+
+// serviceWorkload drives request/response traffic on the bare network;
+// its Run body lives in service.go and its schema in output.go.
+type serviceWorkload struct{}
+
+func (serviceWorkload) Kind() WorkloadKind { return WorkloadService }
+
+func (serviceWorkload) Run(ctx context.Context, s *Scenario) ([]Result, error) {
+	return runServiceShard(ctx, s, nil)
+}
+
+func (serviceWorkload) RunShard(ctx context.Context, s *Scenario, points []int) ([]Result, error) {
+	return runServiceShard(ctx, s, points)
 }

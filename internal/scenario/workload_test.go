@@ -32,11 +32,12 @@ func TestParseWorkloadRoundTrip(t *testing.T) {
 		}
 	}
 	if !WorkloadJacobi.IsKernel() || !WorkloadMatmul.IsKernel() ||
-		!WorkloadSyncbench.IsKernel() || WorkloadNoC.IsKernel() {
+		!WorkloadSyncbench.IsKernel() || WorkloadNoC.IsKernel() ||
+		WorkloadTrace.IsKernel() || WorkloadService.IsKernel() {
 		t.Error("IsKernel classification broken")
 	}
-	if len(WorkloadNames()) != 4 {
-		t.Errorf("WorkloadNames = %v, want 4 kinds", WorkloadNames())
+	if len(WorkloadNames()) != 6 {
+		t.Errorf("WorkloadNames = %v, want 6 kinds", WorkloadNames())
 	}
 }
 

@@ -10,11 +10,42 @@ package tie
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/flit"
 	"repro/internal/queue"
 	"repro/internal/stats"
 )
+
+// SendRecorder observes every logical message packet a TIE port starts
+// sending (trace capture; internal/trace.Trace implements the same shape
+// for injections). Called on the engine thread after the send is
+// validated, so it sees exactly the packets the network will carry.
+// Purely observational: results are byte-identical with or without it.
+type SendRecorder interface {
+	RecordMessage(cycle int64, src, dst int, meta uint32)
+}
+
+// sendRecorder is the process-wide recorder hook. Ports are created deep
+// inside kernel rigs with no config path for an observer, so recording a
+// kernel run installs the hook globally for its duration (recording runs
+// are single-point by construction; see scenario.RecordCtx).
+var sendRecorder atomic.Pointer[SendRecorder]
+
+// SetSendRecorder installs (or, with nil, removes) the process-wide send
+// recorder and returns the previous one so callers can restore it.
+func SetSendRecorder(r SendRecorder) SendRecorder {
+	var prev SendRecorder
+	if p := sendRecorder.Load(); p != nil {
+		prev = *p
+	}
+	if r == nil {
+		sendRecorder.Store(nil)
+	} else {
+		sendRecorder.Store(&r)
+	}
+	return prev
+}
 
 // Class distinguishes the two message-packet kinds carried on the port.
 type Class int
@@ -132,6 +163,9 @@ func (p *Port) StartSend(dst int, class Class, words []uint32, now int64) error 
 	code, err := flit.EncodeBurst(n)
 	if err != nil {
 		return err
+	}
+	if rec := sendRecorder.Load(); rec != nil {
+		(*rec).RecordMessage(now, p.nodeID, dst, uint32(len(words)))
 	}
 	x, y := p.coordOf(dst)
 	p.nextPktID++

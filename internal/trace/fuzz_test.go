@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceDecode holds the package's robustness contract on arbitrary
+// bytes: Decode never panics, every failure wraps a structured sentinel,
+// and anything that decodes cleanly survives an encode/decode round trip
+// unchanged (so a replay can never be silently wrong about what it read).
+func FuzzTraceDecode(f *testing.F) {
+	// Seed corpus: a recorded-looking trace, an empty one, and hand-mutated
+	// variants targeting each header/frame boundary the decoder checks.
+	valid := testTrace().Encode()
+	f.Add(valid)
+	f.Add(New(Header{Width: 2, Height: 2, Measure: 1}).Encode())
+
+	truncated := valid[:len(valid)/2]
+	f.Add(append([]byte(nil), truncated...))
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	badMagic := append([]byte(nil), valid...)
+	copy(badMagic, "XXXXXXXX")
+	f.Add(badMagic)
+
+	futureVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(futureVersion[len(Magic):], 0xFFFF)
+	f.Add(reseal(futureVersion))
+
+	skewed := testTrace()
+	skewed.Header.CodeVersion = "medea-0000.00"
+	f.Add(skewed.Encode())
+
+	hugeFrame := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeFrame[eventsOff(hugeFrame):], 1<<30)
+	f.Add(reseal(hugeFrame))
+
+	hugeCount := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeCount[eventsOff(hugeCount)-8:], 1<<62)
+	f.Add(reseal(hugeCount))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			if !isStructured(err) {
+				t.Fatalf("unstructured decode error: %v", err)
+			}
+			return
+		}
+		// A clean decode must round-trip: re-encoding and decoding again
+		// yields the same header and events (the encoder writes canonical
+		// varints, so a second decode cannot drift).
+		again, err := Decode(tr.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(again.Header, tr.Header) || !reflect.DeepEqual(again.Events, tr.Events) {
+			t.Fatal("encode/decode round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,390 @@
+// Package trace implements MEDEA's compact versioned binary trace format:
+// a recording of every traffic event of one deterministic run, reusable as
+// a test vector or replayed through a different router/topology (the
+// scenario runner's "trace" workload). Two event kinds are recorded:
+// flit-level injections from the synthetic traffic sources (noc.TrafficNode)
+// and eMPI message sends from the kernel workloads (tie.Port.StartSend).
+//
+// The wire layout mirrors the shard-protocol frame and disk-cache checksum
+// idioms:
+//
+//	magic "MEDEATRC"                     8 bytes
+//	format version                       uint16 LE
+//	header frame: length + JSON          uint32 LE + bytes (<= 64 KiB)
+//	event count                          uint64 LE
+//	per event: length + payload          uint32 LE + bytes (<= 64 B)
+//	    kind                             uint8
+//	    cycle, src, dst, meta            uvarint each
+//	trailing SHA-256 over all preceding  32 bytes
+//
+// Every structural defect — bad magic, unknown format version, a
+// CodeVersion stamp from a different simulator build, checksum mismatch,
+// truncation, oversized or malformed frames, out-of-range endpoints,
+// out-of-order cycles — decodes to a structured error wrapping one of the
+// Err* sentinels; Decode never panics (FuzzTraceDecode holds this). The
+// trailing checksum doubles as the trace's content hash, which replay
+// cache keys embed, so a cached replay can never outlive its trace bytes.
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/resultcache"
+)
+
+// Magic identifies a MEDEA trace file (8 bytes).
+const Magic = "MEDEATRC"
+
+// FormatVersion is the current wire-format version; Decode rejects any
+// other with ErrVersion.
+const FormatVersion = 1
+
+// Event kinds.
+const (
+	// EventInject is a flit-level injection from a synthetic traffic
+	// source: Meta carries the flit's data word.
+	EventInject uint8 = 0
+	// EventMessage is an eMPI logical-packet send from a kernel run
+	// (tie.Port.StartSend): Meta carries the packet's word count.
+	EventMessage uint8 = 1
+)
+
+// Structured decode errors. Every Decode failure wraps exactly one of
+// these, so callers (and the fuzz target) can classify failures without
+// string matching.
+var (
+	ErrMagic       = errors.New("trace: not a MEDEA trace (bad magic)")
+	ErrVersion     = errors.New("trace: unsupported format version")
+	ErrCodeVersion = errors.New("trace: recorded by a different simulator build")
+	ErrChecksum    = errors.New("trace: checksum mismatch (corrupt or tampered file)")
+	ErrTruncated   = errors.New("trace: truncated file")
+	ErrHeader      = errors.New("trace: invalid header")
+	ErrFrame       = errors.New("trace: invalid event frame")
+)
+
+// Wire-format limits. The header frame is JSON and stays small; an event
+// frame is at most 1 + 4 maximal uvarints. Anything larger is corruption,
+// not data.
+const (
+	maxHeaderFrame = 64 << 10
+	maxEventFrame  = 64
+	maxEndpoints   = 1 << 20
+	// maxFileSize bounds Load's read so a mis-pointed path (a device
+	// file, a giant unrelated binary) cannot wedge or OOM the loader.
+	maxFileSize = 256 << 20
+)
+
+// Header records the provenance of a trace: the fabric it was captured
+// on and the axis labels of the recorded run. Replay reuses Width/Height
+// to rebuild the endpoint grid and reattaches the labels to its result
+// rows, so a same-fabric replay renders byte-identically to the source
+// run. CodeVersion pins the simulator build: traffic semantics may change
+// between builds, so Decode refuses skewed traces (re-record instead of
+// silently replaying different behaviour).
+type Header struct {
+	CodeVersion string  `json:"code_version"`
+	Width       int     `json:"width"`
+	Height      int     `json:"height"`
+	Topology    string  `json:"topology"`
+	Router      string  `json:"router"`
+	Pattern     string  `json:"pattern"`
+	Rate        float64 `json:"rate"`
+	Seed        int64   `json:"seed"`
+	Bursty      bool    `json:"bursty,omitempty"`
+	QueueCap    int     `json:"queue_cap,omitempty"`
+	// Warmup and Measure reproduce the recorded horizon: events span
+	// cycles [0, Warmup+Measure), and a replay measures the same window.
+	Warmup  int64 `json:"warmup"`
+	Measure int64 `json:"measure"`
+}
+
+// Event is one recorded traffic event. Src and Dst are endpoint ids on
+// the Header's Width x Height grid; Meta is the event's payload word
+// (the flit data word for injections, the word count for messages).
+type Event struct {
+	Kind  uint8
+	Cycle int64
+	Src   int
+	Dst   int
+	Meta  uint32
+}
+
+// Trace is a decoded or under-construction trace: a provenance header
+// plus events in nondecreasing cycle order (the engine steps components
+// in cycle order, so recording appends them that way; Decode enforces it).
+type Trace struct {
+	Header Header
+	Events []Event
+
+	hash string // memoized content hash (hex of the trailing checksum)
+}
+
+// New starts an empty trace for recording, stamping the current build's
+// CodeVersion when the header carries none.
+func New(h Header) *Trace {
+	if h.CodeVersion == "" {
+		h.CodeVersion = resultcache.CodeVersion
+	}
+	return &Trace{Header: h}
+}
+
+// RecordInjection appends one flit-level injection event. It implements
+// noc.InjectionRecorder, so a *Trace plugs directly into
+// noc.TrafficConfig.Record. Recording happens on the engine thread in
+// cycle order; the recorder never perturbs the run it observes.
+func (t *Trace) RecordInjection(cycle int64, src, dst int, meta uint32) {
+	t.append(Event{Kind: EventInject, Cycle: cycle, Src: src, Dst: dst, Meta: meta})
+}
+
+// RecordMessage appends one eMPI message-send event (tie.SendRecorder).
+func (t *Trace) RecordMessage(cycle int64, src, dst int, meta uint32) {
+	t.append(Event{Kind: EventMessage, Cycle: cycle, Src: src, Dst: dst, Meta: meta})
+}
+
+func (t *Trace) append(ev Event) {
+	t.hash = ""
+	t.Events = append(t.Events, ev)
+}
+
+// Encode serializes the trace to the wire format described in the package
+// comment.
+func (t *Trace) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write(binary.LittleEndian.AppendUint16(nil, FormatVersion))
+	hj, err := json.Marshal(t.Header)
+	if err != nil {
+		// Header is a plain struct of marshalable fields; this cannot
+		// happen for traces built through New/Decode.
+		panic(fmt.Sprintf("trace: encoding header: %v", err))
+	}
+	buf.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(hj))))
+	buf.Write(hj)
+	buf.Write(binary.LittleEndian.AppendUint64(nil, uint64(len(t.Events))))
+	frame := make([]byte, 0, maxEventFrame)
+	for _, ev := range t.Events {
+		frame = frame[:0]
+		frame = append(frame, ev.Kind)
+		frame = binary.AppendUvarint(frame, uint64(ev.Cycle))
+		frame = binary.AppendUvarint(frame, uint64(ev.Src))
+		frame = binary.AppendUvarint(frame, uint64(ev.Dst))
+		frame = binary.AppendUvarint(frame, uint64(ev.Meta))
+		buf.Write(binary.LittleEndian.AppendUint32(nil, uint32(len(frame))))
+		buf.Write(frame)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// Hash returns the trace's content hash: the hex of its trailing SHA-256
+// checksum. Decode memoizes it from the verified file bytes; for traces
+// under construction it is recomputed from a fresh Encode. Replay cache
+// keys embed it, so two byte-identical trace files share cache entries
+// and any byte difference misses.
+func (t *Trace) Hash() string {
+	if t.hash == "" {
+		enc := t.Encode()
+		t.hash = hex.EncodeToString(enc[len(enc)-sha256.Size:])
+	}
+	return t.hash
+}
+
+// Save writes the encoded trace atomically (temp file + rename, the disk
+// cache's idiom) so readers never observe a half-written trace.
+func (t *Trace) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".trace-*")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	data := t.Encode()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes a trace file. The read is size-bounded so a
+// mis-pointed path fails fast instead of wedging the loader.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, maxFileSize+1))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	if len(data) > maxFileSize {
+		return nil, fmt.Errorf("trace: %s: larger than the %d MiB trace limit", path, maxFileSize>>20)
+	}
+	t, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Decode parses and validates a wire-format trace. The trailing checksum
+// is verified before any structural parsing, so every post-checksum error
+// indicates an encoder bug rather than transport corruption. All failures
+// wrap one of the package's Err* sentinels; Decode never panics.
+func Decode(data []byte) (*Trace, error) {
+	if len(data) < len(Magic)+2+4+8+sha256.Size {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, ErrMagic
+	}
+	body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], tail) {
+		return nil, ErrChecksum
+	}
+	cur := body[len(Magic):]
+	version := binary.LittleEndian.Uint16(cur)
+	cur = cur[2:]
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: %d (this build reads version %d)", ErrVersion, version, FormatVersion)
+	}
+
+	hlen := binary.LittleEndian.Uint32(cur)
+	cur = cur[4:]
+	if hlen > maxHeaderFrame {
+		return nil, fmt.Errorf("%w: %d-byte header frame (limit %d)", ErrHeader, hlen, maxHeaderFrame)
+	}
+	if uint64(hlen) > uint64(len(cur)) {
+		return nil, fmt.Errorf("%w: header frame runs past the end", ErrTruncated)
+	}
+	var h Header
+	if err := json.Unmarshal(cur[:hlen], &h); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHeader, err)
+	}
+	cur = cur[hlen:]
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	if h.CodeVersion != resultcache.CodeVersion {
+		return nil, fmt.Errorf("%w: trace has %q, this build is %q; re-record the trace",
+			ErrCodeVersion, h.CodeVersion, resultcache.CodeVersion)
+	}
+
+	if len(cur) < 8 {
+		return nil, fmt.Errorf("%w: missing event count", ErrTruncated)
+	}
+	count := binary.LittleEndian.Uint64(cur)
+	cur = cur[8:]
+	// Each event frame takes at least 5 bytes (length + kind), so a count
+	// the remaining bytes cannot hold is detected before any allocation.
+	if count > uint64(len(cur))/5 {
+		return nil, fmt.Errorf("%w: %d events declared, %d bytes remain", ErrTruncated, count, len(cur))
+	}
+	t := &Trace{Header: h, Events: make([]Event, 0, count)}
+	horizon := h.Warmup + h.Measure
+	var prevCycle int64
+	for i := uint64(0); i < count; i++ {
+		if len(cur) < 4 {
+			return nil, fmt.Errorf("%w: event %d frame length missing", ErrTruncated, i)
+		}
+		flen := binary.LittleEndian.Uint32(cur)
+		cur = cur[4:]
+		if flen == 0 || flen > maxEventFrame {
+			return nil, fmt.Errorf("%w: event %d is %d bytes (limit %d)", ErrFrame, i, flen, maxEventFrame)
+		}
+		if uint64(flen) > uint64(len(cur)) {
+			return nil, fmt.Errorf("%w: event %d runs past the end", ErrTruncated, i)
+		}
+		ev, err := decodeEvent(cur[:flen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d: %v", ErrFrame, i, err)
+		}
+		cur = cur[flen:]
+		if ev.Src >= h.Width*h.Height || ev.Dst >= h.Width*h.Height {
+			return nil, fmt.Errorf("%w: event %d endpoints (%d->%d) outside the %dx%d grid",
+				ErrFrame, i, ev.Src, ev.Dst, h.Width, h.Height)
+		}
+		if ev.Cycle >= horizon {
+			return nil, fmt.Errorf("%w: event %d at cycle %d beyond the recorded %d-cycle horizon",
+				ErrFrame, i, ev.Cycle, horizon)
+		}
+		if ev.Cycle < prevCycle {
+			return nil, fmt.Errorf("%w: event %d at cycle %d after cycle %d (events must be cycle-ordered)",
+				ErrFrame, i, ev.Cycle, prevCycle)
+		}
+		prevCycle = ev.Cycle
+		t.Events = append(t.Events, ev)
+	}
+	if len(cur) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last event", ErrFrame, len(cur))
+	}
+	t.hash = hex.EncodeToString(tail)
+	return t, nil
+}
+
+// decodeEvent parses one event frame payload; the frame must be consumed
+// exactly.
+func decodeEvent(frame []byte) (Event, error) {
+	ev := Event{Kind: frame[0]}
+	if ev.Kind > EventMessage {
+		return Event{}, fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+	rest := frame[1:]
+	fields := []struct {
+		name string
+		max  uint64
+		set  func(uint64)
+	}{
+		{"cycle", 1 << 62, func(v uint64) { ev.Cycle = int64(v) }},
+		{"src", maxEndpoints, func(v uint64) { ev.Src = int(v) }},
+		{"dst", maxEndpoints, func(v uint64) { ev.Dst = int(v) }},
+		{"meta", 1<<32 - 1, func(v uint64) { ev.Meta = uint32(v) }},
+	}
+	for _, f := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Event{}, fmt.Errorf("bad %s varint", f.name)
+		}
+		if v > f.max {
+			return Event{}, fmt.Errorf("%s %d out of range", f.name, v)
+		}
+		f.set(v)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return Event{}, fmt.Errorf("%d leftover bytes", len(rest))
+	}
+	return ev, nil
+}
+
+func (h Header) validate() error {
+	if h.Width < 1 || h.Height < 1 {
+		return fmt.Errorf("%w: %dx%d endpoint grid", ErrHeader, h.Width, h.Height)
+	}
+	if h.Width*h.Height > maxEndpoints {
+		return fmt.Errorf("%w: %dx%d grid exceeds %d endpoints", ErrHeader, h.Width, h.Height, maxEndpoints)
+	}
+	if h.Warmup < 0 || h.Measure <= 0 {
+		return fmt.Errorf("%w: warmup %d / measure %d (measure must be positive)", ErrHeader, h.Warmup, h.Measure)
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/resultcache"
+)
+
+// testTrace builds a small, fully populated trace exercising both event
+// kinds and nondecreasing (including equal) cycles.
+func testTrace() *Trace {
+	t := New(Header{
+		Width: 4, Height: 4,
+		Topology: "torus", Router: "deflection",
+		Pattern: "uniform", Rate: 0.1, Seed: 7,
+		Warmup: 100, Measure: 900,
+	})
+	t.RecordInjection(0, 0, 15, 42)
+	t.RecordInjection(3, 1, 2, 0)
+	t.RecordInjection(3, 5, 5, 1<<31)
+	t.RecordMessage(7, 15, 0, 4096)
+	t.RecordInjection(999, 9, 10, 1<<32-1)
+	return t
+}
+
+// reseal recomputes the trailing checksum after a test mutates the body,
+// so structural defects are reached instead of stopping at ErrChecksum.
+func reseal(data []byte) []byte {
+	body := data[:len(data)-sha256.Size]
+	sum := sha256.Sum256(body)
+	return append(append([]byte(nil), body...), sum[:]...)
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := testTrace()
+	enc := src.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Header, src.Header) {
+		t.Errorf("header round trip:\ngot  %+v\nwant %+v", got.Header, src.Header)
+	}
+	if !reflect.DeepEqual(got.Events, src.Events) {
+		t.Errorf("events round trip:\ngot  %+v\nwant %+v", got.Events, src.Events)
+	}
+	if got.Header.CodeVersion != resultcache.CodeVersion {
+		t.Errorf("CodeVersion = %q, want the build's %q", got.Header.CodeVersion, resultcache.CodeVersion)
+	}
+	if got.Hash() != src.Hash() {
+		t.Errorf("hash skew across round trip: %s vs %s", got.Hash(), src.Hash())
+	}
+	if len(src.Hash()) != sha256.Size*2 {
+		t.Errorf("Hash() = %q, want %d hex chars", src.Hash(), sha256.Size*2)
+	}
+}
+
+func TestHashInvalidatedByAppend(t *testing.T) {
+	tr := testTrace()
+	before := tr.Hash()
+	tr.RecordInjection(999, 0, 1, 0)
+	if after := tr.Hash(); after == before {
+		t.Error("Hash unchanged after appending an event")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	src := testTrace()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := src.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, src.Events) || !reflect.DeepEqual(got.Header, src.Header) {
+		t.Error("Save/Load round trip lost data")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Error("Load(missing) succeeded")
+	}
+}
+
+// TestTruncationAtEveryByte: every proper prefix of a valid trace must
+// decode to a structured error — never a panic, never success.
+func TestTruncationAtEveryByte(t *testing.T) {
+	enc := testTrace().Encode()
+	for n := 0; n < len(enc); n++ {
+		_, err := Decode(enc[:n])
+		if err == nil {
+			t.Fatalf("Decode of %d-byte prefix (of %d) succeeded", n, len(enc))
+		}
+		if !isStructured(err) {
+			t.Fatalf("Decode of %d-byte prefix: unstructured error %v", n, err)
+		}
+	}
+}
+
+// TestChecksumFlips: flipping any single byte of the body or the trailing
+// checksum must be detected. Magic bytes fail the magic check (it runs
+// first, to name the real problem on non-trace files); every other flip
+// fails the checksum.
+func TestChecksumFlips(t *testing.T) {
+	enc := testTrace().Encode()
+	for pos := 0; pos < len(enc); pos++ {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 0x01
+		_, err := Decode(mut)
+		want := ErrChecksum
+		if pos < len(Magic) {
+			want = ErrMagic
+		}
+		if !errors.Is(err, want) {
+			t.Fatalf("flip at byte %d: err = %v, want %v", pos, err, want)
+		}
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	enc := testTrace().Encode()
+	binary.LittleEndian.PutUint16(enc[len(Magic):], FormatVersion+1)
+	if _, err := Decode(reseal(enc)); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: err = %v, want ErrVersion", err)
+	}
+}
+
+func TestCodeVersionSkew(t *testing.T) {
+	tr := testTrace()
+	tr.Header.CodeVersion = "medea-1999.01"
+	if _, err := Decode(tr.Encode()); !errors.Is(err, ErrCodeVersion) {
+		t.Errorf("stale CodeVersion: err = %v, want ErrCodeVersion", err)
+	}
+}
+
+func TestHeaderDefects(t *testing.T) {
+	for name, h := range map[string]Header{
+		"zero-grid":    {Width: 0, Height: 4, Measure: 1},
+		"huge-grid":    {Width: 1 << 12, Height: 1 << 12, Measure: 1},
+		"zero-measure": {Width: 4, Height: 4, Measure: 0},
+		"neg-warmup":   {Width: 4, Height: 4, Warmup: -1, Measure: 1},
+	} {
+		tr := New(h)
+		if _, err := Decode(tr.Encode()); !errors.Is(err, ErrHeader) {
+			t.Errorf("%s: err = %v, want ErrHeader", name, err)
+		}
+	}
+}
+
+// corrupt re-encodes testTrace with one structural defect applied by fn,
+// reseals the checksum and decodes, returning the error.
+func corrupt(t *testing.T, fn func(enc []byte) []byte) error {
+	t.Helper()
+	_, err := Decode(reseal(fn(testTrace().Encode())))
+	if err == nil {
+		t.Fatal("corrupted trace decoded cleanly")
+	}
+	return err
+}
+
+// eventsOff locates the first event frame (after magic, version, header
+// frame and event count) in an encoded testTrace.
+func eventsOff(enc []byte) int {
+	off := len(Magic) + 2
+	hlen := binary.LittleEndian.Uint32(enc[off:])
+	return off + 4 + int(hlen) + 8
+}
+
+func TestFrameDefects(t *testing.T) {
+	t.Run("oversized-frame", func(t *testing.T) {
+		err := corrupt(t, func(enc []byte) []byte {
+			binary.LittleEndian.PutUint32(enc[eventsOff(enc):], maxEventFrame+1)
+			return enc
+		})
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("err = %v, want ErrFrame", err)
+		}
+	})
+	t.Run("zero-frame", func(t *testing.T) {
+		err := corrupt(t, func(enc []byte) []byte {
+			binary.LittleEndian.PutUint32(enc[eventsOff(enc):], 0)
+			return enc
+		})
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("err = %v, want ErrFrame", err)
+		}
+	})
+	t.Run("bad-kind", func(t *testing.T) {
+		err := corrupt(t, func(enc []byte) []byte {
+			enc[eventsOff(enc)+4] = EventMessage + 1
+			return enc
+		})
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("err = %v, want ErrFrame", err)
+		}
+	})
+	t.Run("absurd-count", func(t *testing.T) {
+		err := corrupt(t, func(enc []byte) []byte {
+			binary.LittleEndian.PutUint64(enc[eventsOff(enc)-8:], 1<<40)
+			return enc
+		})
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		err := corrupt(t, func(enc []byte) []byte {
+			body, tail := enc[:len(enc)-sha256.Size], enc[len(enc)-sha256.Size:]
+			return append(append(append([]byte(nil), body...), 0xEE), tail...)
+		})
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("err = %v, want ErrFrame", err)
+		}
+	})
+}
+
+func TestSemanticDefects(t *testing.T) {
+	encode := func(events ...Event) []byte {
+		tr := New(Header{Width: 4, Height: 4, Warmup: 100, Measure: 900})
+		tr.Events = events
+		return tr.Encode()
+	}
+	for name, tc := range map[string]struct {
+		events []Event
+		want   error
+	}{
+		"src-off-grid":   {[]Event{{Kind: EventInject, Cycle: 1, Src: 16, Dst: 0}}, ErrFrame},
+		"dst-off-grid":   {[]Event{{Kind: EventInject, Cycle: 1, Src: 0, Dst: 99}}, ErrFrame},
+		"beyond-horizon": {[]Event{{Kind: EventInject, Cycle: 1000, Src: 0, Dst: 1}}, ErrFrame},
+		"cycle-regress": {[]Event{
+			{Kind: EventInject, Cycle: 5, Src: 0, Dst: 1},
+			{Kind: EventInject, Cycle: 4, Src: 0, Dst: 1},
+		}, ErrFrame},
+	} {
+		if _, err := Decode(encode(tc.events...)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	enc := testTrace().Encode()
+	copy(enc, "NOTMEDEA")
+	if _, err := Decode(enc); !errors.Is(err, ErrMagic) {
+		t.Errorf("err = %v, want ErrMagic", err)
+	}
+	if _, err := Decode([]byte("short")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("tiny input: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestLoadSizeLimit(t *testing.T) {
+	// Loading a file over the size cap must fail with the limit named, not
+	// attempt a decode of partial bytes. A sparse file keeps this cheap.
+	path := filepath.Join(t.TempDir(), "huge.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(maxFileSize + 1); err != nil {
+		f.Close()
+		t.Skip("filesystem does not support sparse truncate")
+	}
+	f.Close()
+	if _, err := Load(path); err == nil || !bytes.Contains([]byte(err.Error()), []byte("trace limit")) {
+		t.Errorf("oversized file: err = %v, want trace-limit error", err)
+	}
+}
+
+// isStructured reports whether err wraps one of the package's sentinels —
+// the contract that lets callers classify failures without string matching.
+func isStructured(err error) bool {
+	for _, s := range []error{ErrMagic, ErrVersion, ErrCodeVersion, ErrChecksum, ErrTruncated, ErrHeader, ErrFrame} {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
